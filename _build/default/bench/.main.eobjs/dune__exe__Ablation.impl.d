@@ -1,0 +1,1 @@
+bench/ablation.ml: Harness List Printf Wip_kv Wip_storage Wip_util Wip_workload Wipdb

@@ -1,0 +1,1 @@
+bench/fig10.ml: Harness Int64 List Printf Unix Wip_kv Wip_stats Wip_util Wip_workload Wipdb

@@ -1,0 +1,1 @@
+bench/fig11.ml: Array Harness List Printf Wip_kv Wip_workload

@@ -1,0 +1,1 @@
+bench/fig2.ml: Array Float Harness List Printf String Wip_lsm Wip_util Wip_workload

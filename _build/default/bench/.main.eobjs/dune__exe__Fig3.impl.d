@@ -1,0 +1,1 @@
+bench/fig3.ml: Array Harness Int64 List Printf Unix Wip_memtable Wip_util

@@ -1,0 +1,1 @@
+bench/fig6.ml: Float Harness List Printf Unix Wip_kv Wip_storage Wip_workload

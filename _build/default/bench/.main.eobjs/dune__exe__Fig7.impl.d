@@ -1,0 +1,1 @@
+bench/fig7.ml: Array Float Harness Int64 List String Unix Wip_storage Wip_util Wip_workload Wipdb

@@ -1,0 +1,1 @@
+bench/fig8.ml: Array Harness Int64 List Printf String Unix Wip_kv Wip_stats Wip_util Wip_workload Wipdb

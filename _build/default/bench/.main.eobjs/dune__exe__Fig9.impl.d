@@ -1,0 +1,1 @@
+bench/fig9.ml: Harness List Printf Unix Wip_kv Wip_storage Wip_workload Wipdb

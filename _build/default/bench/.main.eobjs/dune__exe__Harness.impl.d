@@ -1,0 +1,1 @@
+bench/harness.ml: Bytes List Printf Unix Wip_flsm Wip_kv Wip_lsm Wip_memtable Wip_storage Wip_util Wip_workload Wipdb

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Fig10 Fig11 Fig2 Fig3 Fig6 Fig7 Fig8 Fig9 Gc List Micro Printf Sys Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Harness Hashtbl Instance Int64 Measure Printf Staged Test Time Toolkit Wip_bloom Wip_memtable Wip_storage Wip_util Wip_wal Wipdb

@@ -1,0 +1,132 @@
+(* Ablations on the design knobs DESIGN.md calls out:
+   - split fanout N and level budget L_max against the WA bound
+     L_max + N/(N-1) (paper §III-E);
+   - the compaction-eligibility window [min_count, max_count];
+   - bloom-filter density vs read I/O;
+   - block-cache capacity vs read I/O for a hot working set. *)
+
+open Harness
+module Distribution = Wip_workload.Distribution
+module Io_stats = Wip_storage.Io_stats
+
+let run_config label cfg ~ops =
+  let db = Wipdb.Store.create cfg in
+  let engine =
+    { label; store = Wip_kv.Store_intf.Store ((module Wipdb.Store), db) }
+  in
+  let dist = Distribution.make Distribution.Uniform ~space:key_space ~seed:12L in
+  let elapsed = drive_writes engine dist ~ops in
+  (db, Io_stats.write_amplification (Wipdb.Store.io_stats db), elapsed)
+
+let run ~ops () =
+  section "Ablation: WA vs split fanout N and level budget L_max";
+  row "%-8s %-8s %10s %12s %10s %10s" "L_max" "N" "bound" "measured WA" "buckets" "Kops/s";
+  List.iter
+    (fun l_max ->
+      List.iter
+        (fun n ->
+          let cfg =
+            {
+              (wipdb_config ~scale:1) with
+              Wipdb.Config.l_max;
+              split_fanout = n;
+              initial_buckets = 4;
+              name = Printf.sprintf "WipDB-L%d-N%d" l_max n;
+            }
+          in
+          let db, wa, elapsed = run_config cfg.Wipdb.Config.name cfg ~ops in
+          row "%-8d %-8d %10.2f %12.2f %10d %10.1f" l_max n
+            (Wipdb.Config.wa_upper_bound cfg)
+            wa
+            (Wipdb.Store.bucket_count db)
+            (float_of_int ops /. elapsed /. 1e3))
+        [ 2; 4; 8 ])
+    [ 2; 3; 4 ];
+  section "Ablation: compaction-eligibility window [min_count, max_count]";
+  row "%-12s %-12s %12s %10s" "min_count" "max_count" "measured WA" "Kops/s";
+  List.iter
+    (fun (min_count, max_count) ->
+      let cfg =
+        {
+          (wipdb_config ~scale:1) with
+          Wipdb.Config.min_count;
+          max_count;
+          initial_buckets = 4;
+          name = Printf.sprintf "WipDB-mc%d-%d" min_count max_count;
+        }
+      in
+      let _db, wa, elapsed = run_config cfg.Wipdb.Config.name cfg ~ops in
+      row "%-12d %-12d %12.2f %10.1f" min_count max_count wa
+        (float_of_int ops /. elapsed /. 1e3))
+    [ (2, 4); (4, 8); (4, 20); (8, 20) ]
+
+  ;
+  section "Ablation: bloom bits/key vs read-path device I/O";
+  row "%-12s %14s %16s" "bits/key" "bytes/get" "false-pos reads";
+  List.iter
+    (fun bits_per_key ->
+      let env = Wip_storage.Env.in_memory () in
+      let cfg =
+        {
+          (wipdb_config ~scale:1) with
+          Wipdb.Config.bits_per_key;
+          name = Printf.sprintf "WipDB-bpk%d" bits_per_key;
+        }
+      in
+      let db = Wipdb.Store.create ~env cfg in
+      (* Store even keys; query odd ones — misses that land inside every
+         table's key range, so only the bloom filter stands between the
+         lookup and a data-block read. *)
+      for i = 0 to 19_999 do
+        Wipdb.Store.put db ~key:(Printf.sprintf "%016d" (2 * i))
+          ~value:"payload-96-bytes"
+      done;
+      Wipdb.Store.flush db;
+      let stats = Wip_storage.Env.stats env in
+      let before = Io_stats.read_by stats Io_stats.Read_path in
+      let misses = 20_000 in
+      for i = 0 to misses - 1 do
+        ignore (Wipdb.Store.get db (Printf.sprintf "%016d" ((2 * i) + 1)))
+      done;
+      let fp_bytes = Io_stats.read_by stats Io_stats.Read_path - before in
+      row "%-12d %14.1f %16s" bits_per_key
+        (float_of_int fp_bytes /. float_of_int misses)
+        (human_bytes fp_bytes))
+    [ 2; 6; 10; 14 ];
+  section "Ablation: block-cache capacity vs read-path device I/O";
+  row "%-14s %14s %12s" "cache" "bytes/get" "hit rate";
+  List.iter
+    (fun cache_bytes ->
+      let env = Wip_storage.Env.in_memory () in
+      let cfg =
+        {
+          (wipdb_config ~scale:1) with
+          Wipdb.Config.block_cache_bytes = cache_bytes;
+          name = Printf.sprintf "WipDB-bc%d" cache_bytes;
+        }
+      in
+      let db = Wipdb.Store.create ~env cfg in
+      for i = 0 to 19_999 do
+        Wipdb.Store.put db ~key:(Printf.sprintf "%016d" i) ~value:"payload-96-bytes"
+      done;
+      Wipdb.Store.flush db;
+      Wipdb.Store.maintenance db ();
+      let stats = Wip_storage.Env.stats env in
+      let before = Io_stats.read_by stats Io_stats.Read_path in
+      let rng = Wip_util.Rng.create ~seed:0xCAFEL in
+      let reads = 40_000 in
+      (* Zipf-hot working set: 90% of reads hit 10% of keys. *)
+      for _ = 1 to reads do
+        let hot = Wip_util.Rng.int rng 10 < 9 in
+        let k =
+          if hot then Wip_util.Rng.int rng 2_000
+          else Wip_util.Rng.int rng 20_000
+        in
+        ignore (Wipdb.Store.get db (Printf.sprintf "%016d" k))
+      done;
+      let bytes = Io_stats.read_by stats Io_stats.Read_path - before in
+      row "%-14s %14.1f %12s"
+        (if cache_bytes = 0 then "off" else human_bytes cache_bytes)
+        (float_of_int bytes /. float_of_int reads)
+        "-")
+    [ 0; 64 * 1024; 512 * 1024; 4 * 1024 * 1024 ]

@@ -1,0 +1,112 @@
+(* Figure 10 + Table II: YCSB core workloads. Each store is preloaded with
+   the record set; every workload then runs its standard operation mix.
+   Reported: throughput per workload (Figure 10) and 99th-percentile
+   latency (Table II). *)
+
+open Harness
+module Ycsb = Wip_workload.Ycsb
+module Store_intf = Wip_kv.Store_intf
+module Histogram = Wip_stats.Histogram
+module Key_codec = Wip_workload.Key_codec
+
+(* The paper pre-partitions WipDB's buckets over the workload's key space
+   (100 buckets at start, §IV-B); YCSB keys live in [0, ~2*records). *)
+let engines ~scale ~records =
+  [
+    make_wipdb
+      ~cfg_adjust:(fun c ->
+        {
+          c with
+          Wipdb.Config.initial_key_space = Int64.of_int (2 * records);
+          initial_buckets = 16;
+        })
+      ~scale ();
+    make_leveldb ~scale ();
+    make_rocksdb ~scale ();
+    make_pebblesdb ~scale ();
+  ]
+
+let preload engine ~records =
+  let gen = Ycsb.create Ycsb.Load ~record_count:records ~seed:10L () in
+  let t0 = Unix.gettimeofday () in
+  let batch = ref [] and batched = ref 0 in
+  for _ = 1 to records do
+    (match Ycsb.next gen with
+    | Ycsb.Insert (k, v) -> batch := (Wip_util.Ikey.Value, k, v) :: !batch
+    | _ -> ());
+    incr batched;
+    if !batched = 200 then begin
+      Store_intf.write_batch engine.store (List.rev !batch);
+      batch := [];
+      batched := 0
+    end
+  done;
+  Store_intf.write_batch engine.store (List.rev !batch);
+  Store_intf.flush engine.store;
+  Store_intf.maintenance engine.store ();
+  float_of_int records /. (Unix.gettimeofday () -. t0)
+
+let scan_hi start length =
+  (* Upper bound covering [length] consecutive numeric keys. *)
+  match Int64.of_string_opt start with
+  | Some v -> Key_codec.encode (Int64.add v (Int64.of_int (length * 10)))
+  | None -> start ^ "\255"
+
+let run_workload engine workload ~records ~ops =
+  let gen = Ycsb.create workload ~record_count:records ~seed:11L () in
+  let lat = Histogram.create () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to ops do
+    let op = Ycsb.next gen in
+    let r0 = Unix.gettimeofday () in
+    (match op with
+    | Ycsb.Read k -> ignore (Store_intf.get engine.store k)
+    | Ycsb.Update (k, v) | Ycsb.Insert (k, v) ->
+      Store_intf.put engine.store ~key:k ~value:v
+    | Ycsb.Scan (k, n) ->
+      ignore (Store_intf.scan engine.store ~lo:k ~hi:(scan_hi k n) ~limit:n ())
+    | Ycsb.Read_modify_write (k, v) ->
+      ignore (Store_intf.get engine.store k);
+      Store_intf.put engine.store ~key:k ~value:v);
+    Histogram.add lat ((Unix.gettimeofday () -. r0) *. 1e6)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  (float_of_int ops /. dt, Histogram.percentile lat 99.0)
+
+let run ~ops () =
+  let records = max 10_000 ops in
+  let ops_per_workload = max 2_000 (ops / 5) in
+  section
+    (Printf.sprintf
+       "Figure 10: YCSB throughput (Kops/s), %d records preloaded, %d ops/workload"
+       records ops_per_workload);
+  let workloads = [ Ycsb.A; Ycsb.B; Ycsb.C; Ycsb.D; Ycsb.E; Ycsb.F ] in
+  Printf.printf "%-16s %8s" "store" "Load";
+  List.iter (fun w -> Printf.printf "%8s" (Ycsb.workload_name w)) workloads;
+  print_newline ();
+  let latencies = ref [] in
+  List.iter
+    (fun engine ->
+      let load_thr = preload engine ~records in
+      Printf.printf "%-16s %8.1f%!" engine.label (load_thr /. 1e3);
+      let lats =
+        List.map
+          (fun w ->
+            let thr, p99 = run_workload engine w ~records ~ops:ops_per_workload in
+            Printf.printf "%8.1f%!" (thr /. 1e3);
+            p99)
+          workloads
+      in
+      print_newline ();
+      latencies := (engine.label, lats) :: !latencies)
+    (engines ~scale:1 ~records);
+  section "Table II: YCSB 99th-percentile latency (us)";
+  Printf.printf "%-16s" "store";
+  List.iter (fun w -> Printf.printf "%8s" (Ycsb.workload_name w)) workloads;
+  print_newline ();
+  List.iter
+    (fun (label, lats) ->
+      Printf.printf "%-16s" label;
+      List.iter (fun p -> Printf.printf "%8.0f" p) lats;
+      print_newline ())
+    (List.rev !latencies)

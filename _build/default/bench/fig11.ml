@@ -1,0 +1,56 @@
+(* Figure 11: file-size histograms per store after a sizable load. The
+   paper's observation: PebblesDB's probabilistic guards fragment the store
+   into many small files (over half below 1 MB, 20x the file count of other
+   stores), while WipDB/LevelDB/RocksDB keep files near their target size. *)
+
+open Harness
+module Store_intf = Wip_kv.Store_intf
+module Distribution = Wip_workload.Distribution
+
+let buckets_kib = [ 4; 16; 64; 256; 1024; max_int ]
+
+let bucket_label lo hi =
+  if hi = max_int then Printf.sprintf ">%dK" lo
+  else if lo = 0 then Printf.sprintf "<%dK" hi
+  else Printf.sprintf "%d-%dK" lo hi
+
+let run ~ops () =
+  section "Figure 11: file size histogram (counts per size range)";
+  let labels =
+    let rec pairs lo = function
+      | [] -> []
+      | hi :: rest -> bucket_label lo hi :: pairs hi rest
+    in
+    pairs 0 buckets_kib
+  in
+  Printf.printf "%-16s %8s" "store" "#files";
+  List.iter (fun l -> Printf.printf "%10s" l) labels;
+  print_newline ();
+  List.iter
+    (fun mk ->
+      let engine = mk in
+      let dist = Distribution.make Distribution.Uniform ~space:key_space ~seed:11L in
+      let _ = drive_writes engine dist ~ops in
+      Store_intf.flush engine.store;
+      Store_intf.maintenance engine.store ();
+      let sizes = Store_intf.file_sizes engine.store in
+      let hist = Array.make (List.length buckets_kib) 0 in
+      List.iter
+        (fun size ->
+          let rec place i = function
+            | [] -> ()
+            | hi :: rest ->
+              if hi = max_int || size < hi * 1024 then hist.(i) <- hist.(i) + 1
+              else place (i + 1) rest
+          in
+          place 0 buckets_kib)
+        sizes;
+      Printf.printf "%-16s %8d" engine.label (List.length sizes);
+      Array.iter (fun n -> Printf.printf "%10d" n) hist;
+      print_newline ())
+    [
+      make_wipdb ~scale:1 ();
+      make_leveldb ~scale:1 ();
+      make_rocksdb ~scale:1 ();
+      make_pebblesdb ~scale:1 ();
+    ]

@@ -1,0 +1,71 @@
+(* Figure 2: hypothetical guard positions in a LevelDB-like store drift as
+   compactions run — heavily in the upper levels, little in the deep ones.
+   This instability is the paper's argument for why approximate sorting
+   cannot be applied per-level in an LSM-tree (§II-C). *)
+
+open Harness
+
+let run ~ops () =
+  section "Figure 2: guard-position drift in LevelDB levels (uniform writes)";
+  (* The concrete Leveled handle is needed for guard instrumentation. *)
+  let db = Wip_lsm.Leveled.create (Wip_lsm.Leveled.leveldb_config ~scale:1) in
+  let dist =
+    Wip_workload.Distribution.make Wip_workload.Distribution.Uniform
+      ~space:key_space ~seed:2L
+  in
+  let rng = Wip_util.Rng.create ~seed:0xF16L in
+  let checkpoints = 6 in
+  let per_phase = ops / checkpoints in
+  let guard_every = max 200 (ops / 50) in
+  let history = Array.make (checkpoints + 1) [] in
+  for phase = 1 to checkpoints do
+    for _ = 1 to per_phase do
+      let k =
+        Wip_workload.Key_codec.encode (Wip_workload.Distribution.next dist)
+      in
+      Wip_lsm.Leveled.put db ~key:k ~value:(value_of_size rng 100)
+    done;
+    Wip_lsm.Leveled.flush db;
+    Wip_lsm.Leveled.maintenance db ();
+    history.(phase) <-
+      List.map
+        (fun level ->
+          ( level,
+            Wip_lsm.Leveled.guard_positions db ~level ~every:guard_every
+              ~space:key_space ))
+        [ 1; 2; 3 ]
+  done;
+  row "%-6s %-6s %-8s %s" "phase" "level" "#guards" "first guard positions (%% of key space)";
+  for phase = 1 to checkpoints do
+    List.iter
+      (fun (level, guards) ->
+        let shown =
+          guards |> List.filteri (fun i _ -> i < 6)
+          |> List.map (fun f -> Printf.sprintf "%5.1f" (100.0 *. f))
+          |> String.concat " "
+        in
+        row "%-6d L%-5d %-8d %s" phase level (List.length guards) shown)
+      history.(phase)
+  done;
+  (* Drift summary: mean |Δ| of matching guard ordinals between consecutive
+     checkpoints. The paper's claim: drift(L1) > drift(L2) > drift(L3). *)
+  row "";
+  row "%-6s %s" "level" "mean |guard drift| between phases (%% of key space)";
+  List.iter
+    (fun level ->
+      let drift = ref 0.0 and samples = ref 0 in
+      for phase = 2 to checkpoints do
+        let prev = List.assoc level history.(phase - 1) in
+        let cur = List.assoc level history.(phase) in
+        List.iteri
+          (fun i g ->
+            match List.nth_opt prev i with
+            | Some g' ->
+              drift := !drift +. Float.abs (g -. g');
+              incr samples
+            | None -> ())
+          cur
+      done;
+      let mean = if !samples = 0 then 0.0 else 100.0 *. !drift /. float_of_int !samples in
+      row "L%-5d %.3f" level mean)
+    [ 1; 2; 3 ]

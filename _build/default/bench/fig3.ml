@@ -1,0 +1,65 @@
+(* Figure 3: MemTable structure comparison — many skip lists vs many hash
+   tables vs one big skip list. The paper measures CPU cache/TLB misses; we
+   reproduce the mechanism with throughput and per-op probe counts (memory
+   accesses on the lookup/insert path), which is what drives those misses. *)
+
+open Harness
+module Memtable = Wip_memtable.Memtable
+module Skiplist = Wip_memtable.Skiplist
+module Ikey = Wip_util.Ikey
+
+let table_capacity = 10_000
+
+(* Write [ops] random keys routed to [tables] tables by key hash; a full
+   table is replaced by a fresh one (freeze-and-rotate, as WipDB does). *)
+let run_many_tables structure ~tables ~ops =
+  let make () =
+    Memtable.create ~structure ~capacity_items:table_capacity
+      ~capacity_bytes:max_int
+  in
+  let arr = Array.init tables (fun _ -> make ()) in
+  let rng = Wip_util.Rng.create ~seed:0xF3L in
+  let retired_probes = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to ops do
+    let key = Printf.sprintf "%016d" (Wip_util.Rng.int rng 1_000_000_000) in
+    let idx = Wip_util.Hashing.hash32 ~seed:7 key mod tables in
+    let ikey = Ikey.make key ~seq:(Int64.of_int i) in
+    if not (Memtable.try_add arr.(idx) ikey "0123456789abcdef") then begin
+      retired_probes := !retired_probes + Memtable.probes arr.(idx);
+      arr.(idx) <- make ();
+      ignore (Memtable.try_add arr.(idx) ikey "0123456789abcdef")
+    end
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let probes =
+    Array.fold_left (fun a t -> a + Memtable.probes t) !retired_probes arr
+  in
+  (float_of_int ops /. dt, float_of_int probes /. float_of_int ops)
+
+let run_one_big_skiplist ~ops =
+  let s = Skiplist.create () in
+  let rng = Wip_util.Rng.create ~seed:0xF3L in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to ops do
+    let key = Printf.sprintf "%016d" (Wip_util.Rng.int rng 1_000_000_000) in
+    Skiplist.add s (Ikey.make key ~seq:(Int64.of_int i)) "0123456789abcdef"
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  (float_of_int ops /. dt, float_of_int (Skiplist.probes s) /. float_of_int ops)
+
+let run ~ops () =
+  section "Figure 3: MemTable structures (throughput + probes/op)";
+  row "(cache/TLB miss counters are not portable; probes/op is the";
+  row " memory-access count behind those misses — see DESIGN.md)";
+  row "";
+  row "%-12s %-12s %12s %14s" "structure" "#tables" "Mops/s" "probes/op";
+  List.iter
+    (fun tables ->
+      let thr_s, probes_s = run_many_tables Memtable.Sorted ~tables ~ops in
+      let thr_h, probes_h = run_many_tables Memtable.Hash ~tables ~ops in
+      row "%-12s %-12d %12.3f %14.2f" "SkipLists" tables (mops thr_s) probes_s;
+      row "%-12s %-12d %12.3f %14.2f" "Hash" tables (mops thr_h) probes_h)
+    [ 1; 16; 256; 1024 ];
+  let thr_1, probes_1 = run_one_big_skiplist ~ops in
+  row "%-12s %-12s %12.3f %14.2f" "1-SkipList" "(unbounded)" (mops thr_1) probes_1

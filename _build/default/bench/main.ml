@@ -1,0 +1,83 @@
+(* Benchmark harness entry point.
+
+   Each experiment regenerates one of the paper's tables/figures (see
+   DESIGN.md's per-experiment index and EXPERIMENTS.md for paper-vs-measured
+   results). With no arguments, every experiment runs at a scaled-down
+   default size; pass experiment names to select, and "--ops N" to change
+   the per-experiment operation count.
+
+     dune exec bench/main.exe                    # everything, default size
+     dune exec bench/main.exe -- fig6 --ops 500000
+     dune exec bench/main.exe -- micro           # Bechamel microbenches *)
+
+let experiments =
+  [
+    ("fig2", "guard-position drift in LevelDB levels", fun ~ops -> Fig2.run ~ops);
+    ("fig3", "MemTable structure comparison", fun ~ops -> Fig3.run ~ops);
+    ("fig6", "write throughput / WA / per-level I/O", fun ~ops -> Fig6.run ~ops);
+    ("fig7", "changing key distribution", fun ~ops -> Fig7.run ~ops);
+    ("fig8", "mixed read/write + Table I latency", fun ~ops -> Fig8.run ~ops);
+    ("fig9", "WAL size and restart time", fun ~ops -> Fig9.run ~ops);
+    ("fig10", "YCSB throughput + Table II latency", fun ~ops -> Fig10.run ~ops);
+    ("fig11", "file-size histograms", fun ~ops -> Fig11.run ~ops);
+    ("ablation", "WA bound and scheduling-window sweeps", fun ~ops ->
+      Ablation.run ~ops);
+  ]
+
+let default_ops =
+  [
+    ("fig2", 60_000);
+    ("fig3", 200_000);
+    ("fig6", 200_000);
+    ("fig7", 120_000);
+    ("fig8", 40_000);
+    ("fig9", 30_000);
+    ("fig10", 30_000);
+    ("fig11", 60_000);
+    ("ablation", 40_000);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [experiment ...] [--ops N]";
+  print_endline "experiments:";
+  List.iter (fun (name, doc, _) -> Printf.printf "  %-10s %s\n" name doc)
+    experiments;
+  Printf.printf "  %-10s %s\n" "micro" "Bechamel microbenchmarks";
+  exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse names ops = function
+    | [] -> (List.rev names, ops)
+    | "--ops" :: n :: rest -> parse names (Some (int_of_string n)) rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | name :: rest -> parse (name :: names) ops rest
+  in
+  let names, ops_override = parse [] None args in
+  let names =
+    if names = [] then List.map (fun (n, _, _) -> n) experiments else names
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      if name = "micro" then Micro.run ()
+      else
+        match List.find_opt (fun (n, _, _) -> n = name) experiments with
+        | Some (_, _, run) ->
+          let ops =
+            match ops_override with
+            | Some n -> n
+            | None -> List.assoc name default_ops
+          in
+          (* Fresh heap per experiment: the previous experiment's garbage
+             (e.g. fig3's million skip-list nodes) must not tax this one's
+             wall-clock numbers. *)
+          Gc.compact ();
+          run ~ops ()
+        | None ->
+          Printf.eprintf "unknown experiment: %s\n" name;
+          usage ())
+    names;
+  (* Run microbenches in the no-arg "everything" mode too. *)
+  if args = [] then Micro.run ();
+  Printf.printf "\ntotal bench time: %.1f s\n%!" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+examples/background_compaction.ml: Atomic List Printf String Thread Unix Wip_concurrent Wip_storage Wip_util Wipdb

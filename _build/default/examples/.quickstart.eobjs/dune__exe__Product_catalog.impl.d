@@ -1,0 +1,1 @@
+examples/product_catalog.ml: Array List Printf Unix Wip_storage Wip_util Wipdb

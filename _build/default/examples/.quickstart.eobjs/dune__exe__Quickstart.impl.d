@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Option Printf Wip_storage Wip_util Wipdb

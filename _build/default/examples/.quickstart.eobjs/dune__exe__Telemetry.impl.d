@@ -1,0 +1,1 @@
+examples/telemetry.ml: Array List Printf Unix Wip_storage Wip_util Wipdb

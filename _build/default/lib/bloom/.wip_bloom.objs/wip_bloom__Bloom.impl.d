@@ -1,0 +1,1 @@
+lib/bloom/bloom.ml: Bytes Char Int64 String Wip_util

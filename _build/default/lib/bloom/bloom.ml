@@ -1,0 +1,74 @@
+type t = { bits : Bytes.t; nbits : int; k : int }
+
+let probes_for bits_per_key =
+  let k = int_of_float (float_of_int bits_per_key *. 0.69 +. 0.5) in
+  max 1 (min 30 k)
+
+let create ~bits_per_key ~expected_keys =
+  let nbits = max 64 (expected_keys * bits_per_key) in
+  let nbytes = (nbits + 7) / 8 in
+  { bits = Bytes.make nbytes '\000'; nbits = nbytes * 8; k = probes_for bits_per_key }
+
+let base_hashes key =
+  let h = Wip_util.Hashing.hash64 key in
+  let h1 = Int64.to_int (Int64.logand h 0x3FFFFFFFFFFFFFFFL) in
+  let h2 =
+    Int64.to_int
+      (Int64.logand (Int64.shift_right_logical h 17) 0x3FFFFFFFFFFFFFFFL)
+    lor 1
+  in
+  (h1, h2)
+
+let set_bit bits pos =
+  let byte = pos lsr 3 and bit = pos land 7 in
+  Bytes.unsafe_set bits byte
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get bits byte) lor (1 lsl bit)))
+
+let get_bit_bytes bits pos =
+  let byte = pos lsr 3 and bit = pos land 7 in
+  Char.code (Bytes.unsafe_get bits byte) land (1 lsl bit) <> 0
+
+let get_bit_string bits pos =
+  let byte = pos lsr 3 and bit = pos land 7 in
+  Char.code (String.unsafe_get bits byte) land (1 lsl bit) <> 0
+
+let add t key =
+  let h1, h2 = base_hashes key in
+  let h = ref h1 in
+  for _ = 1 to t.k do
+    set_bit t.bits (!h mod t.nbits);
+    h := (!h + h2) land max_int
+  done
+
+let mem t key =
+  let h1, h2 = base_hashes key in
+  let rec loop h i =
+    if i = 0 then true
+    else if not (get_bit_bytes t.bits (h mod t.nbits)) then false
+    else loop ((h + h2) land max_int) (i - 1)
+  in
+  loop h1 t.k
+
+let encode t = Bytes.to_string t.bits ^ String.make 1 (Char.chr t.k)
+
+let mem_encoded filter key =
+  let n = String.length filter in
+  if n < 2 then true
+  else begin
+    let k = Char.code filter.[n - 1] in
+    if k < 1 || k > 30 then true
+    else begin
+      let nbits = (n - 1) * 8 in
+      let h1, h2 = base_hashes key in
+      let rec loop h i =
+        if i = 0 then true
+        else if not (get_bit_string filter (h mod nbits)) then false
+        else loop ((h + h2) land max_int) (i - 1)
+      in
+      loop h1 k
+    end
+  end
+
+let bit_count t = t.nbits
+
+let probe_count t = t.k

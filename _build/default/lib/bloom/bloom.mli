@@ -1,0 +1,32 @@
+(** Bloom filters for LevelTables/SSTables.
+
+    Double hashing (Kirsch–Mitzenmacher): two base hashes generate all [k]
+    probe positions, so adding a key costs two hash evaluations regardless of
+    [k]. The number of probes is derived from [bits_per_key] as
+    [k = round(bits_per_key * ln 2)], clamped to [\[1, 30\]], matching
+    LevelDB's policy. Filters serialize to a compact string stored inside a
+    table's filter block. *)
+
+type t
+
+val create : bits_per_key:int -> expected_keys:int -> t
+(** A mutable filter sized for [expected_keys] insertions. *)
+
+val add : t -> string -> unit
+
+val mem : t -> string -> bool
+(** No false negatives for added keys; false-positive probability decreases
+    with [bits_per_key] (~1% at 10 bits/key). *)
+
+val encode : t -> string
+(** Serialized form: bit array followed by a one-byte probe count. *)
+
+val mem_encoded : string -> string -> bool
+(** [mem_encoded filter key] queries a serialized filter without decoding it
+    into an intermediate structure. An empty or malformed filter returns
+    [true] (maybe-present), never losing keys. *)
+
+val bit_count : t -> int
+(** Size of the bit array, for introspection/tests. *)
+
+val probe_count : t -> int

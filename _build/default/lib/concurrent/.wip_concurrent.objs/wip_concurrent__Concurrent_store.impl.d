@@ -1,0 +1,1 @@
+lib/concurrent/concurrent_store.ml: Fun Mutex Thread Wip_kv Wip_storage

@@ -1,0 +1,1 @@
+lib/concurrent/concurrent_store.mli: Wip_kv Wip_util

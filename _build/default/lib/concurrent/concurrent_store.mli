@@ -1,0 +1,46 @@
+(** Thread-safe store front with background compaction.
+
+    Wraps any engine implementing {!Wip_kv.Store_intf.S} behind a mutex and
+    runs a dedicated compaction thread, so foreground writes return after
+    the WAL append + MemTable insert and merge-sorting happens off the
+    critical path — the deployment model the paper assumes (7 background
+    compaction threads in §IV-A).
+
+    For the compactor to have work to steal, configure the wrapped engine
+    so its write path does not compact inline (for WipDB:
+    [compaction_budget_per_batch = 0] leaves eligible compactions to the
+    background thread; mandatory splits/over-limit compactions still run in
+    the writer to bound sublevel counts). *)
+
+module Make (S : Wip_kv.Store_intf.S) : sig
+  type t
+
+  val create : ?budget_per_cycle:int -> ?idle_sleep:float -> S.t -> t
+  (** Starts the compaction thread. Each cycle takes the store lock, runs
+      maintenance bounded by [budget_per_cycle] bytes (default 1 MiB), then
+      sleeps [idle_sleep] seconds (default 1 ms) so foreground threads can
+      interleave. *)
+
+  val put : t -> key:string -> value:string -> unit
+
+  val write_batch : t -> (Wip_util.Ikey.kind * string * string) list -> unit
+
+  val delete : t -> key:string -> unit
+
+  val get : t -> string -> string option
+
+  val scan : t -> lo:string -> hi:string -> ?limit:int -> unit -> (string * string) list
+
+  val flush : t -> unit
+
+  val with_store : t -> (S.t -> 'a) -> 'a
+  (** Run [f] on the underlying store while holding the lock — for
+      engine-specific calls (snapshots, stats, introspection). *)
+
+  val compaction_cycles : t -> int
+  (** Background cycles that performed work (for tests/monitoring). *)
+
+  val stop : t -> unit
+  (** Stop and join the compaction thread, then run maintenance to
+      quiescence. Idempotent. *)
+end

@@ -1,0 +1,1 @@
+lib/core/wipdb.ml: Config Store Wip_manifest

@@ -1,0 +1,1 @@
+lib/core/store.ml: Array Config Filename Hashtbl Int64 List Printf Seq String Wip_manifest Wip_memtable Wip_sstable Wip_storage Wip_util Wip_wal

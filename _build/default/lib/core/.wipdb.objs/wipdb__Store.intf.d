@@ -1,0 +1,1 @@
+lib/core/store.mli: Config Seq Wip_kv Wip_memtable Wip_storage

@@ -1,0 +1,1039 @@
+module Ikey = Wip_util.Ikey
+module Env = Wip_storage.Env
+module Io_stats = Wip_storage.Io_stats
+module Table = Wip_sstable.Table
+module Merge_iter = Wip_sstable.Merge_iter
+module Memtable = Wip_memtable.Memtable
+module Wal = Wip_wal.Wal
+module Manifest = Wip_manifest.Manifest
+
+type bucket = {
+  id : int;
+  lo : string;
+  mutable memtable : Memtable.t;
+  levels : Table.meta list array; (* newest first within each level *)
+  read_counts : int array; (* per level, since last compaction of it *)
+  mutable range_queries : int; (* since last flush; drives adaptivity *)
+  mutable next_structure : Memtable.structure;
+}
+
+type t = {
+  cfg : Config.t;
+  env : Env.t;
+  wal : Wal.t;
+  manifest : Manifest.t;
+  mutable buckets : bucket array; (* sorted by lo *)
+  readers : (string, Table.Reader.t) Hashtbl.t;
+  mutable next_file : int;
+  mutable next_bucket_id : int;
+  mutable seq : int64;
+  mutable splits : int;
+  mutable compactions : int;
+  mutable io_credit : int;
+      (* accumulated background-compaction allowance (bytes); see
+         Config.compaction_budget_per_batch *)
+  cache : Wip_storage.Block_cache.t option;
+}
+
+let config t = t.cfg
+
+let name t = t.cfg.Config.name
+
+let env t = t.env
+
+let io_stats t = Env.stats t.env
+
+let sequence t = t.seq
+
+let snapshot t = t.seq
+
+let split_count t = t.splits
+
+let compaction_count t = t.compactions
+
+let bucket_count t = Array.length t.buckets
+
+let wal_bytes t = Wal.total_bytes t.wal
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let fresh_memtable t structure =
+  Memtable.create ~structure ~capacity_items:t.cfg.Config.memtable_items
+    ~capacity_bytes:t.cfg.Config.memtable_bytes
+
+let make_bucket t ~id ~lo ~structure =
+  {
+    id;
+    lo;
+    memtable = fresh_memtable t structure;
+    levels = Array.make t.cfg.Config.l_max [];
+    read_counts = Array.make t.cfg.Config.l_max 0;
+    range_queries = 0;
+    next_structure = structure;
+  }
+
+let manifest_name cfg = cfg.Config.name ^ "-manifest"
+
+let create ?env:env_opt cfg =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Wipdb.create: " ^ msg));
+  let env = match env_opt with Some e -> e | None -> Env.in_memory () in
+  let manifest = Manifest.create env ~name:(manifest_name cfg) in
+  let t =
+    {
+      cfg;
+      env;
+      wal = Wal.create env ~prefix:(cfg.Config.name ^ "-wal")
+              ~segment_bytes:cfg.Config.wal_segment_bytes ();
+      manifest;
+      buckets = [||];
+      readers = Hashtbl.create 256;
+      next_file = 1;
+      next_bucket_id = 0;
+      seq = 0L;
+      splits = 0;
+      compactions = 0;
+      io_credit = 0;
+      cache =
+        (if cfg.Config.block_cache_bytes > 0 then
+           Some
+             (Wip_storage.Block_cache.create
+                ~capacity_bytes:cfg.Config.block_cache_bytes)
+         else None);
+    }
+  in
+  (* Initial bucket boundaries: evenly spaced over the numeric key space
+     (a single bucket when initial_buckets = 1, the paper's cold start). *)
+  let n = cfg.Config.initial_buckets in
+  let buckets =
+    Array.init n (fun i ->
+        let lo =
+          if i = 0 then ""
+          else
+            let pos =
+              Int64.div
+                (Int64.mul cfg.Config.initial_key_space (Int64.of_int i))
+                (Int64.of_int n)
+            in
+            Printf.sprintf "%016Ld" pos
+        in
+        let id = t.next_bucket_id in
+        t.next_bucket_id <- id + 1;
+        Manifest.append manifest (Manifest.Add_bucket { id; lo });
+        make_bucket t ~id ~lo ~structure:cfg.Config.memtable_structure)
+  in
+  t.buckets <- buckets;
+  Manifest.sync manifest;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Bucket directory *)
+
+(* Rightmost bucket whose lower bound <= key. *)
+let bucket_for t key =
+  let arr = t.buckets in
+  let n = Array.length arr in
+  let rec bs lo hi =
+    (* invariant: arr.(lo).lo <= key; arr.(hi).lo > key or hi = n *)
+    if hi - lo <= 1 then arr.(lo)
+    else
+      let mid = (lo + hi) / 2 in
+      if String.compare arr.(mid).lo key <= 0 then bs mid hi else bs lo mid
+  in
+  bs 0 n
+
+let bucket_hi t bucket =
+  (* Exclusive upper bound: next bucket's lo, or None for the last. *)
+  let n = Array.length t.buckets in
+  let rec find i =
+    if i >= n then None
+    else if t.buckets.(i).id = bucket.id then
+      if i + 1 < n then Some t.buckets.(i + 1).lo else None
+    else find (i + 1)
+  in
+  find 0
+
+(* ------------------------------------------------------------------ *)
+(* Table plumbing *)
+
+let fresh_table_name t =
+  let n = t.next_file in
+  t.next_file <- n + 1;
+  Printf.sprintf "%s-%06d.lvt" t.cfg.Config.name n
+
+let reader_of t (meta : Table.meta) =
+  match Hashtbl.find_opt t.readers meta.Table.name with
+  | Some r -> r
+  | None ->
+    let r = Table.Reader.open_ ?cache:t.cache t.env ~name:meta.Table.name in
+    Hashtbl.replace t.readers meta.Table.name r;
+    r
+
+let drop_table t (meta : Table.meta) =
+  (match Hashtbl.find_opt t.readers meta.Table.name with
+  | Some r ->
+    Table.Reader.close r;
+    Hashtbl.remove t.readers meta.Table.name
+  | None -> ());
+  (match t.cache with
+  | Some cache -> Wip_storage.Block_cache.evict_file cache meta.Table.name
+  | None -> ());
+  Env.delete t.env meta.Table.name
+
+let log_add_table t bucket level (meta : Table.meta) =
+  Manifest.append t.manifest
+    (Manifest.Add_table
+       {
+         bucket = bucket.id;
+         level;
+         name = meta.Table.name;
+         size = meta.Table.size;
+         entry_count = meta.Table.entry_count;
+         smallest = meta.Table.smallest;
+         largest = meta.Table.largest;
+       })
+
+let log_remove_table t bucket level (meta : Table.meta) =
+  Manifest.append t.manifest
+    (Manifest.Remove_table { bucket = bucket.id; level; name = meta.Table.name })
+
+let table_seq t ~category meta =
+  Table.Reader.iter_from (reader_of t meta) ~category ()
+
+(* ------------------------------------------------------------------ *)
+(* Flush (minor compaction): MemTable -> one level-0 LevelTable *)
+
+let wal_reclaim t =
+  (* Figure 5: the reclamation bound is the smallest unpersisted sequence
+     number across all MemTables, or just past the newest write when every
+     MemTable is empty. *)
+  let bound =
+    Array.fold_left
+      (fun acc b ->
+        match Memtable.min_seq b.memtable with
+        | Some s -> Int64.min acc s
+        | None -> acc)
+      (Int64.add t.seq 1L) t.buckets
+  in
+  ignore (Wal.reclaim t.wal ~persisted_below:bound)
+
+let flush_bucket t bucket =
+  if not (Memtable.is_empty bucket.memtable) then begin
+    let entries = Memtable.sorted_entries bucket.memtable in
+    let builder =
+      Table.Builder.create t.env ~name:(fresh_table_name t)
+        ~category:Io_stats.Flush ~bits_per_key:t.cfg.Config.bits_per_key
+        ~expected_keys:(Array.length entries) ()
+    in
+    Array.iter (fun (ik, v) -> Table.Builder.add builder ik v) entries;
+    let meta = Table.Builder.finish builder in
+    bucket.levels.(0) <- meta :: bucket.levels.(0);
+    log_add_table t bucket 0 meta;
+    (* Adaptive MemTable structure (§III-D): heavy range-query traffic since
+       the last flush switches the next table to the sorted structure; quiet
+       buckets switch back to the hash structure. *)
+    if t.cfg.Config.adaptive_memtable then
+      bucket.next_structure <-
+        (if bucket.range_queries >= t.cfg.Config.range_query_switch_threshold
+         then Memtable.Sorted
+         else t.cfg.Config.memtable_structure);
+    bucket.range_queries <- 0;
+    bucket.memtable <- fresh_memtable t bucket.next_structure;
+    wal_reclaim t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Compaction: merge ALL sublevels of level i into ONE sublevel of i+1.
+   Nothing in level i+1 is rewritten — write amplification 1 per level. *)
+
+let compact_level t bucket level =
+  let inputs = bucket.levels.(level) in
+  if inputs <> [] && level + 1 < t.cfg.Config.l_max then begin
+    t.compactions <- t.compactions + 1;
+    let seqs =
+      List.map
+        (fun m -> table_seq t ~category:(Io_stats.Compaction_read level) m)
+        inputs
+    in
+    let entries =
+      Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:false seqs
+    in
+    let expected =
+      List.fold_left (fun acc (m : Table.meta) -> acc + m.Table.entry_count) 0 inputs
+    in
+    let builder =
+      Table.Builder.create t.env ~name:(fresh_table_name t)
+        ~category:(Io_stats.Compaction (level + 1))
+        ~bits_per_key:t.cfg.Config.bits_per_key ~expected_keys:(max 64 expected)
+        ()
+    in
+    Seq.iter (fun (ik, v) -> Table.Builder.add builder ik v) entries;
+    if Table.Builder.entry_count builder > 0 then begin
+      let meta = Table.Builder.finish builder in
+      bucket.levels.(level + 1) <- meta :: bucket.levels.(level + 1);
+      log_add_table t bucket (level + 1) meta
+    end
+    else Table.Builder.abandon builder;
+    List.iter (fun m -> log_remove_table t bucket level m) inputs;
+    bucket.levels.(level) <- [];
+    bucket.read_counts.(level) <- 0;
+    List.iter (drop_table t) inputs
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bucket split (§III-E) *)
+
+(* Sample-sort splitter selection: every sublevel contributes N-1 evenly
+   spaced keys (sampled from its in-memory index, which holds one key per
+   data block); the sorted union is then itself evenly split N ways. *)
+let choose_splitters t bucket =
+  let n = t.cfg.Config.split_fanout in
+  let per_table (meta : Table.meta) =
+    if meta.Table.entry_count = 0 then []
+    else begin
+      let reader = reader_of t meta in
+      let sample = ref [] in
+      (* Evenly spaced block boundaries approximate key ordinals. *)
+      let keys =
+        Table.Reader.iter_from reader ~category:Io_stats.Split ()
+        |> Seq.map (fun ((ik : Ikey.t), _) -> ik.Ikey.user_key)
+      in
+      (* Taking every (count/n)-th key exactly would re-read the table; the
+         index-based approximation below uses the table's smallest/largest
+         and a handful of sampled keys. For fidelity we sample from the real
+         iterator but cap the work: stride through entries. *)
+      let stride = max 1 (meta.Table.entry_count / n) in
+      let i = ref 0 in
+      Seq.iter
+        (fun k ->
+          if !i mod stride = stride - 1 && List.length !sample < n - 1 then
+            sample := k :: !sample;
+          incr i)
+        keys;
+      !sample
+    end
+  in
+  let all =
+    Array.to_list bucket.levels
+    |> List.concat_map (fun tables -> List.concat_map per_table tables)
+    |> List.sort_uniq String.compare
+  in
+  let m = List.length all in
+  if m = 0 then []
+  else begin
+    let arr = Array.of_list all in
+    let splitters = ref [] in
+    for i = 1 to n - 1 do
+      let idx = min (m - 1) (i * m / n) in
+      splitters := arr.(idx) :: !splitters
+    done;
+    List.sort_uniq String.compare !splitters
+    |> List.filter (fun s -> String.compare s bucket.lo > 0)
+  end
+
+let split_bucket t bucket =
+  let splitters = choose_splitters t bucket in
+  if splitters <> [] then begin
+    t.splits <- t.splits + 1;
+    let boundaries = bucket.lo :: splitters in
+    (* Full compaction of the whole bucket into one sorted stream; tombstones
+       die here because the stream is the entire history of the range. *)
+    let seqs =
+      Array.to_list bucket.levels
+      |> List.concat_map
+           (List.map (fun m -> table_seq t ~category:Io_stats.Split m))
+    in
+    let entries =
+      Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:true seqs
+    in
+    (* Cut the stream at each splitter: one output table per new bucket. *)
+    let remaining = ref (List.tl boundaries) in
+    let outputs = ref [] in
+    let builder = ref None in
+    let total_entries =
+      Array.fold_left
+        (fun acc tables ->
+          List.fold_left
+            (fun acc (m : Table.meta) -> acc + m.Table.entry_count)
+            acc tables)
+        0 bucket.levels
+    in
+    let finish () =
+      match !builder with
+      | Some b ->
+        if Table.Builder.entry_count b > 0 then
+          outputs := Table.Builder.finish b :: !outputs
+        else Table.Builder.abandon b;
+        builder := None
+      | None -> ()
+    in
+    Seq.iter
+      (fun ((ik : Ikey.t), v) ->
+        (* Advance past any splitters <= this key. *)
+        let advanced = ref false in
+        while
+          match !remaining with
+          | s :: _ when String.compare s ik.Ikey.user_key <= 0 -> true
+          | _ -> false
+        do
+          remaining := List.tl !remaining;
+          advanced := true
+        done;
+        if !advanced then finish ();
+        let b =
+          match !builder with
+          | Some b -> b
+          | None ->
+            let b' =
+              Table.Builder.create t.env ~name:(fresh_table_name t)
+                ~category:Io_stats.Split
+                ~bits_per_key:t.cfg.Config.bits_per_key
+                ~expected_keys:(max 64 (total_entries / List.length boundaries))
+                ()
+            in
+            builder := Some b';
+            b'
+        in
+        Table.Builder.add b ik v)
+      entries;
+    finish ();
+    let outputs = List.rev !outputs in
+    (* Build the new buckets; each takes the output table whose range falls
+       in its boundaries as its last level, and inherits the old MemTable's
+       items that belong to it. *)
+    let old_entries = Memtable.sorted_entries bucket.memtable in
+    let new_buckets =
+      List.map
+        (fun lo ->
+          let id = t.next_bucket_id in
+          t.next_bucket_id <- id + 1;
+          Manifest.append t.manifest (Manifest.Add_bucket { id; lo });
+          make_bucket t ~id ~lo ~structure:bucket.next_structure)
+        boundaries
+    in
+    let arr = Array.of_list new_buckets in
+    let last = Array.length arr - 1 in
+    let new_bucket_for key =
+      let rec find i =
+        if i = last then arr.(i)
+        else if String.compare arr.(i + 1).lo key <= 0 then find (i + 1)
+        else arr.(i)
+      in
+      find 0
+    in
+    List.iter
+      (fun (meta : Table.meta) ->
+        if meta.Table.entry_count > 0 then begin
+          let b = new_bucket_for meta.Table.smallest in
+          let lvl = t.cfg.Config.l_max - 1 in
+          b.levels.(lvl) <- meta :: b.levels.(lvl);
+          log_add_table t b lvl meta
+        end)
+      outputs;
+    Array.iter
+      (fun ((ik : Ikey.t), v) ->
+        let b = new_bucket_for ik.Ikey.user_key in
+        (* Capacity cannot be exceeded: the old table held all of these. *)
+        ignore (Memtable.try_add b.memtable ik v))
+      old_entries;
+    (* Retire the old bucket and its tables. *)
+    Array.iteri
+      (fun level tables ->
+        List.iter
+          (fun m ->
+            log_remove_table t bucket level m;
+            drop_table t m)
+          tables)
+      bucket.levels;
+    Manifest.append t.manifest (Manifest.Remove_bucket { id = bucket.id });
+    let others =
+      Array.to_list t.buckets |> List.filter (fun b -> b.id <> bucket.id)
+    in
+    let all =
+      List.sort (fun a b -> String.compare a.lo b.lo) (others @ new_buckets)
+    in
+    t.buckets <- Array.of_list all;
+    Manifest.append t.manifest
+      (Manifest.Watermark { seq = t.seq; next_file = t.next_file })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bucket merge: adjacent tiny buckets collapse into one (§III-E). *)
+
+let bucket_bytes bucket =
+  Array.fold_left
+    (fun acc tables ->
+      List.fold_left (fun acc (m : Table.meta) -> acc + m.Table.size) acc tables)
+    0 bucket.levels
+
+let merge_buckets t left right =
+  (* Full-compact both buckets into one table placed at the merged bucket's
+     last level; MemTable items are re-added. *)
+  let seqs =
+    List.concat_map
+      (fun b ->
+        Array.to_list b.levels
+        |> List.concat_map
+             (List.map (fun m -> table_seq t ~category:Io_stats.Split m)))
+      [ left; right ]
+  in
+  let entries =
+    Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:true seqs
+  in
+  let id = t.next_bucket_id in
+  t.next_bucket_id <- id + 1;
+  Manifest.append t.manifest (Manifest.Add_bucket { id; lo = left.lo });
+  let merged = make_bucket t ~id ~lo:left.lo ~structure:left.next_structure in
+  let builder =
+    Table.Builder.create t.env ~name:(fresh_table_name t)
+      ~category:Io_stats.Split ~bits_per_key:t.cfg.Config.bits_per_key
+      ~expected_keys:64 ()
+  in
+  Seq.iter (fun (ik, v) -> Table.Builder.add builder ik v) entries;
+  if Table.Builder.entry_count builder > 0 then begin
+    let meta = Table.Builder.finish builder in
+    let lvl = t.cfg.Config.l_max - 1 in
+    merged.levels.(lvl) <- [ meta ];
+    log_add_table t merged lvl meta
+  end
+  else Table.Builder.abandon builder;
+  List.iter
+    (fun b ->
+      Array.iter
+        (fun ((ik : Ikey.t), v) -> ignore (Memtable.try_add merged.memtable ik v))
+        (Memtable.sorted_entries b.memtable);
+      Array.iteri
+        (fun level tables ->
+          List.iter
+            (fun m ->
+              log_remove_table t b level m;
+              drop_table t m)
+            tables)
+        b.levels;
+      Manifest.append t.manifest (Manifest.Remove_bucket { id = b.id }))
+    [ left; right ];
+  let others =
+    Array.to_list t.buckets
+    |> List.filter (fun b -> b.id <> left.id && b.id <> right.id)
+  in
+  t.buckets <-
+    Array.of_list
+      (List.sort (fun a b -> String.compare a.lo b.lo) (merged :: others))
+
+(* ------------------------------------------------------------------ *)
+(* Read-aware compaction scheduling (§III-G) *)
+
+type job = { j_bucket : bucket; j_level : int; j_priority : float }
+
+let eligible_jobs t =
+  let cfg = t.cfg in
+  let jobs = ref [] in
+  Array.iter
+    (fun b ->
+      for level = 0 to cfg.Config.l_max - 2 do
+        let subs = List.length b.levels.(level) in
+        if subs >= cfg.Config.min_count then
+          jobs := (b, level, subs, b.read_counts.(level)) :: !jobs
+      done)
+    t.buckets;
+  let jobs = !jobs in
+  if jobs = [] then []
+  else begin
+    let n = float_of_int (List.length jobs) in
+    let avg_sub =
+      List.fold_left (fun acc (_, _, s, _) -> acc +. float_of_int s) 0.0 jobs /. n
+    in
+    let avg_read =
+      List.fold_left (fun acc (_, _, _, r) -> acc +. float_of_int r) 0.0 jobs /. n
+    in
+    List.map
+      (fun (b, level, subs, reads) ->
+        let rela_sub =
+          if avg_sub > 0.0 then float_of_int subs /. avg_sub else 0.0
+        in
+        let rela_read =
+          if avg_read > 0.0 then float_of_int reads /. avg_read else 0.0
+        in
+        {
+          j_bucket = b;
+          j_level = level;
+          j_priority = (cfg.Config.read_weight *. rela_read) +. rela_sub;
+        })
+      jobs
+    |> List.sort (fun a b -> compare b.j_priority a.j_priority)
+  end
+
+(* A bucket splits when its device footprint reaches capacity (the paper's
+   "each level consists of T full sublevels"), or — regardless of size —
+   when the last level hits max_count sublevels, since the last level has
+   nowhere left to compact to. *)
+let needs_split t bucket =
+  bucket_bytes bucket >= Config.effective_bucket_capacity t.cfg
+  || List.length bucket.levels.(t.cfg.Config.l_max - 1) >= t.cfg.Config.max_count
+
+(* Collapse the last level's sublevels into one — the escape valve for a
+   bucket that must shed sublevels but cannot split (e.g. it holds a single
+   hot key, so sample-sort finds no splitter). Tombstones die here: the
+   last level is the deepest data, so a tombstone can only shadow versions
+   inside this very merge. *)
+let collapse_last_level t bucket =
+  let level = t.cfg.Config.l_max - 1 in
+  let inputs = bucket.levels.(level) in
+  if List.length inputs > 1 then begin
+    t.compactions <- t.compactions + 1;
+    let seqs =
+      List.map
+        (fun m -> table_seq t ~category:(Io_stats.Compaction_read level) m)
+        inputs
+    in
+    let entries =
+      Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:true seqs
+    in
+    let builder =
+      Table.Builder.create t.env ~name:(fresh_table_name t)
+        ~category:(Io_stats.Compaction level)
+        ~bits_per_key:t.cfg.Config.bits_per_key ~expected_keys:64 ()
+    in
+    Seq.iter (fun (ik, v) -> Table.Builder.add builder ik v) entries;
+    if Table.Builder.entry_count builder > 0 then begin
+      let meta = Table.Builder.finish builder in
+      bucket.levels.(level) <- [ meta ];
+      log_add_table t bucket level meta
+    end
+    else begin
+      Table.Builder.abandon builder;
+      bucket.levels.(level) <- []
+    end;
+    List.iter (fun m -> log_remove_table t bucket level m) inputs;
+    bucket.read_counts.(level) <- 0;
+    List.iter (drop_table t) inputs
+  end
+
+let mandatory_work t =
+  (* Splits and over-limit levels run regardless of budget. *)
+  let progress = ref false in
+  Array.iter
+    (fun b ->
+      if needs_split t b then begin
+        let splits_before = t.splits in
+        split_bucket t b;
+        if t.splits > splits_before then progress := true
+        else if
+          List.length b.levels.(t.cfg.Config.l_max - 1)
+          >= t.cfg.Config.max_count
+        then begin
+          collapse_last_level t b;
+          progress := true
+        end
+        (* else: over byte capacity but unsplittable and within sublevel
+           limits — nothing to do until the key population diversifies. *)
+      end)
+    (Array.copy t.buckets);
+  Array.iter
+    (fun b ->
+      for level = 0 to t.cfg.Config.l_max - 2 do
+        if List.length b.levels.(level) >= t.cfg.Config.max_count then begin
+          compact_level t b level;
+          progress := true
+        end
+      done)
+    t.buckets;
+  !progress
+
+let maintenance t ?budget_bytes () =
+  let budget = ref (match budget_bytes with Some b -> b | None -> max_int) in
+  let rec loop () =
+    while mandatory_work t do
+      ()
+    done;
+    if !budget > 0 then begin
+      match eligible_jobs t with
+      | [] -> ()
+      | job :: _ ->
+        let before = Io_stats.bytes_written (io_stats t) in
+        compact_level t job.j_bucket job.j_level;
+        let after = Io_stats.bytes_written (io_stats t) in
+        budget := !budget - (after - before);
+        loop ()
+    end
+  in
+  loop ();
+  (* Opportunistic merge of adjacent tiny buckets. *)
+  let n = Array.length t.buckets in
+  if n >= 2 then begin
+    let rec find i =
+      if i + 1 >= Array.length t.buckets then ()
+      else begin
+        let a = t.buckets.(i) and b = t.buckets.(i + 1) in
+        if
+          bucket_bytes a + bucket_bytes b <= t.cfg.Config.bucket_merge_bytes
+          && Memtable.count a.memtable + Memtable.count b.memtable
+             < t.cfg.Config.memtable_items
+          && Array.length t.buckets > t.cfg.Config.initial_buckets
+        then merge_buckets t a b
+        else find (i + 1)
+      end
+    in
+    find 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Writes *)
+
+let apply t kind key value =
+  let seq = Int64.add t.seq 1L in
+  t.seq <- seq;
+  Io_stats.record_write (io_stats t) Io_stats.User_write
+    (String.length key + String.length value);
+  let ikey = Ikey.make ~kind key ~seq in
+  let bucket = bucket_for t key in
+  if not (Memtable.try_add bucket.memtable ikey value) then begin
+    flush_bucket t bucket;
+    (* A fresh table always has room for one item. *)
+    let ok = Memtable.try_add bucket.memtable ikey value in
+    assert ok
+  end
+
+let enforce_wal_threshold t =
+  (* §III-F: when the log exceeds its threshold, flush the MemTable holding
+     the oldest unpersisted item so the tail can advance. *)
+  let guard = ref 0 in
+  while
+    Wal.total_bytes t.wal > t.cfg.Config.wal_size_threshold && !guard < 1024
+  do
+    incr guard;
+    let oldest = ref None in
+    Array.iter
+      (fun b ->
+        match Memtable.min_seq b.memtable with
+        | Some s -> (
+          match !oldest with
+          | Some (s', _) when Int64.compare s' s <= 0 -> ()
+          | _ -> oldest := Some (s, b))
+        | None -> ())
+      t.buckets;
+    match !oldest with
+    | Some (_, b) -> flush_bucket t b
+    | None ->
+      wal_reclaim t;
+      guard := 1024
+  done
+
+let write_batch t items =
+  if items <> [] then begin
+    Wal.append_batch t.wal ~first_seq:(Int64.add t.seq 1L) items;
+    List.iter (fun (kind, key, value) -> apply t kind key value) items;
+    enforce_wal_threshold t;
+    (* Splits and over-limit compactions always run; eligible compactions
+       draw on an allowance that accrues per batch, modeling the background
+       bandwidth compaction threads would share with the foreground. An
+       unconfigured budget (max_int) means eager compaction. *)
+    if t.cfg.Config.compaction_budget_per_batch = max_int then maintenance t ()
+    else begin
+      t.io_credit <-
+        min
+          (t.io_credit + t.cfg.Config.compaction_budget_per_batch)
+          (256 * 1024 * 1024);
+      while mandatory_work t do () done;
+      let rec drain () =
+        if t.io_credit > 0 then
+          match eligible_jobs t with
+          | [] -> ()
+          | job :: _ ->
+            let before = Io_stats.bytes_written (io_stats t) in
+            compact_level t job.j_bucket job.j_level;
+            let after = Io_stats.bytes_written (io_stats t) in
+            t.io_credit <- t.io_credit - (after - before);
+            drain ()
+      in
+      drain ()
+    end
+  end
+
+let put t ~key ~value = write_batch t [ (Ikey.Value, key, value) ]
+
+let delete t ~key = write_batch t [ (Ikey.Deletion, key, "") ]
+
+let flush t = Array.iter (fun b -> flush_bucket t b) t.buckets
+
+(* ------------------------------------------------------------------ *)
+(* Reads *)
+
+let get_at t key ~snapshot =
+  let bucket = bucket_for t key in
+  match Memtable.find bucket.memtable key ~snapshot with
+  | Some (Ikey.Value, v) -> Some v
+  | Some (Ikey.Deletion, _) -> None
+  | None ->
+    let rec levels level =
+      if level >= t.cfg.Config.l_max then None
+      else begin
+        let rec sublevels = function
+          | [] -> levels (level + 1)
+          | (m : Table.meta) :: rest ->
+            if not (Table.overlaps m ~lo:key ~hi:key) then sublevels rest
+            else begin
+              let reader = reader_of t m in
+              if not (Table.Reader.may_contain reader key) then sublevels rest
+              else begin
+                (* A real sublevel access: §III-G read accounting. *)
+                bucket.read_counts.(level) <- bucket.read_counts.(level) + 1;
+                match
+                  Table.Reader.get reader ~category:Io_stats.Read_path key
+                    ~snapshot
+                with
+                | Some (Ikey.Value, v, _) -> Some v
+                | Some (Ikey.Deletion, _, _) -> None
+                | None -> sublevels rest
+              end
+            end
+        in
+        sublevels bucket.levels.(level)
+      end
+    in
+    levels 0
+
+let get t key = get_at t key ~snapshot:t.seq
+
+(* Lazy stream of visible (key, value) pairs with lo <= key < hi at the
+   given snapshot — newest visible version per key, tombstones elided.
+
+   Bucket key ranges are disjoint (the bucket-sort invariant), so the stream
+   is the concatenation of per-bucket merges in bucket order; a consumer
+   that stops early never touches later buckets' data blocks. Per-bucket
+   state (table handles, the sorted MemTable buffer of §III-D) is captured
+   when the bucket is first reached. Readers opened here keep their file
+   contents alive on the in-memory Env even if a concurrent compaction
+   retires the table; on the POSIX Env the stream should be drained before
+   further writes. *)
+let visible_seq t ~lo ~hi ~snapshot =
+  let relevant =
+    Array.to_list t.buckets
+    |> List.filteri (fun i b ->
+           let b_hi =
+             if i + 1 < Array.length t.buckets then t.buckets.(i + 1).lo
+             else "\255\255\255\255\255\255\255\255\255\255\255\255\255\255\255\255\255"
+           in
+           String.compare b.lo hi < 0 && String.compare b_hi lo > 0)
+  in
+  let bucket_seq b () =
+    b.range_queries <- b.range_queries + 1;
+    let mem_entries =
+      (* §III-D: sort the hash MemTable into a one-time buffer. *)
+      Memtable.sorted_entries b.memtable
+      |> Array.to_seq
+      |> Seq.filter (fun ((ik : Ikey.t), _) ->
+             Ikey.compare_user ik.Ikey.user_key lo >= 0
+             && Ikey.compare_user ik.Ikey.user_key hi < 0)
+    in
+    let table_seqs =
+      Array.to_list b.levels
+      |> List.concat_map
+           (List.filter_map (fun (m : Table.meta) ->
+                if Table.overlaps m ~lo ~hi:(hi ^ "\255") then
+                  Some
+                    (Table.Reader.iter_from (reader_of t m)
+                       ~category:Io_stats.Read_path ~lo ()
+                    |> Seq.take_while (fun ((ik : Ikey.t), _) ->
+                           Ikey.compare_user ik.Ikey.user_key hi < 0))
+                else None))
+    in
+    (Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:false
+       ~snapshot_floor:snapshot
+       (mem_entries :: table_seqs))
+      ()
+  in
+  let merged = Seq.concat (List.to_seq (List.map bucket_seq relevant)) in
+  (* Entries newer than the snapshot are skipped (§III-D sequence-number
+     rule); among the rest the first (newest) version per user key decides,
+     and tombstones are dropped. *)
+  let rec visible last seq () =
+    match seq () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (((ik : Ikey.t), v), rest) ->
+      if Int64.compare ik.Ikey.seq snapshot > 0 then visible last rest ()
+      else begin
+        let dup =
+          match last with
+          | Some k -> String.equal k ik.Ikey.user_key
+          | None -> false
+        in
+        let last = Some ik.Ikey.user_key in
+        if dup then visible last rest ()
+        else
+          match ik.Ikey.kind with
+          | Ikey.Value -> Seq.Cons ((ik.Ikey.user_key, v), visible last rest)
+          | Ikey.Deletion -> visible last rest ()
+      end
+  in
+  visible None merged
+
+let iter_range t ?snapshot ~lo ~hi () =
+  let snapshot = match snapshot with Some s -> s | None -> t.seq in
+  visible_seq t ~lo ~hi ~snapshot
+
+let scan_at t ~lo ~hi ?(limit = max_int) ~snapshot () =
+  visible_seq t ~lo ~hi ~snapshot |> Seq.take limit |> List.of_seq
+
+let scan t ~lo ~hi ?limit () = scan_at t ~lo ~hi ?limit ~snapshot:t.seq ()
+
+(* ------------------------------------------------------------------ *)
+(* Recovery *)
+
+let recover ?env:env_opt cfg =
+  let env = match env_opt with Some e -> e | None -> Env.in_memory () in
+  if not (Manifest.exists env ~name:(manifest_name cfg)) then create ~env cfg
+  else begin
+    (* Rebuild the bucket directory from manifest edits. *)
+    let buckets : (int, bucket) Hashtbl.t = Hashtbl.create 64 in
+    let max_bucket_id = ref (-1) in
+    let watermark_seq = ref 0L in
+    let watermark_file = ref 1 in
+    let stub_t = ref None in
+    (* We need a [t] to create memtables; construct it first with empty
+       directory, then fill. *)
+    let t =
+      {
+        cfg;
+        env;
+        (* Placeholder log, replaced below once the real WAL is recovered;
+           its distinct prefix keeps it out of future recoveries and its
+           single empty segment is deleted before returning. *)
+        wal = Wal.create env ~prefix:(cfg.Config.name ^ "-tmpwal") ();
+        manifest = Manifest.reopen env ~name:(manifest_name cfg);
+        buckets = [||];
+        readers = Hashtbl.create 256;
+        next_file = 1;
+        next_bucket_id = 0;
+        seq = 0L;
+        splits = 0;
+        compactions = 0;
+        io_credit = 0;
+        cache =
+          (if cfg.Config.block_cache_bytes > 0 then
+             Some
+               (Wip_storage.Block_cache.create
+                  ~capacity_bytes:cfg.Config.block_cache_bytes)
+           else None);
+      }
+    in
+    stub_t := Some t;
+    Manifest.replay env ~name:(manifest_name cfg) (fun edit ->
+        match edit with
+        | Manifest.Add_bucket { id; lo } ->
+          if id > !max_bucket_id then max_bucket_id := id;
+          Hashtbl.replace buckets id
+            (make_bucket t ~id ~lo ~structure:cfg.Config.memtable_structure)
+        | Manifest.Remove_bucket { id } -> Hashtbl.remove buckets id
+        | Manifest.Add_table { bucket; level; name; size; entry_count; smallest; largest } -> (
+          match Hashtbl.find_opt buckets bucket with
+          | Some b ->
+            let meta =
+              { Table.name; size; entry_count; smallest; largest }
+            in
+            b.levels.(level) <- meta :: b.levels.(level)
+          | None -> ())
+        | Manifest.Remove_table { bucket; level; name } -> (
+          match Hashtbl.find_opt buckets bucket with
+          | Some b ->
+            b.levels.(level) <-
+              List.filter
+                (fun (m : Table.meta) -> not (String.equal m.Table.name name))
+                b.levels.(level)
+          | None -> ())
+        | Manifest.Watermark { seq; next_file } ->
+          watermark_seq := seq;
+          watermark_file := next_file);
+    let bucket_list =
+      Hashtbl.fold (fun _ b acc -> b :: acc) buckets []
+      |> List.sort (fun a b -> String.compare a.lo b.lo)
+    in
+    t.buckets <- Array.of_list bucket_list;
+    t.next_bucket_id <- !max_bucket_id + 1;
+    (* next_file: beyond both the watermark and any live table file. *)
+    let max_file_no =
+      Array.fold_left
+        (fun acc b ->
+          Array.fold_left
+            (fun acc tables ->
+              List.fold_left
+                (fun acc (m : Table.meta) ->
+                  (* "<name>-NNNNNN.lvt" *)
+                  let base = Filename.chop_suffix m.Table.name ".lvt" in
+                  let prefix_len = String.length cfg.Config.name + 1 in
+                  match
+                    int_of_string_opt
+                      (String.sub base prefix_len (String.length base - prefix_len))
+                  with
+                  | Some n -> max acc n
+                  | None -> acc)
+                acc tables)
+            acc b.levels)
+        !watermark_file t.buckets
+    in
+    t.next_file <- max_file_no + 1;
+    t.seq <- !watermark_seq;
+    (* Replay the WAL into MemTables; duplicates of already-persisted items
+       carry their original (smaller or equal) sequence numbers, so reads
+       stay correct and the next flush simply rewrites them. *)
+    let wal =
+      Wal.recover env ~prefix:(cfg.Config.name ^ "-wal")
+        ~segment_bytes:cfg.Config.wal_segment_bytes
+        ~replay:(fun (r : Wal.record) ->
+          if Int64.compare r.Wal.seq t.seq > 0 then t.seq <- r.Wal.seq;
+          let ikey = Ikey.make ~kind:r.Wal.kind r.Wal.key ~seq:r.Wal.seq in
+          let bucket = bucket_for t r.Wal.key in
+          if not (Memtable.try_add bucket.memtable ikey r.Wal.value) then begin
+            flush_bucket t bucket;
+            ignore (Memtable.try_add bucket.memtable ikey r.Wal.value)
+          end)
+        ()
+    in
+    Env.delete env (cfg.Config.name ^ "-tmpwal-000000.log");
+    let t = { t with wal } in
+    if Int64.compare (Wal.max_seq_logged wal) t.seq > 0 then
+      t.seq <- Wal.max_seq_logged wal;
+    t
+  end
+
+let checkpoint t =
+  Wal.sync t.wal;
+  Manifest.append t.manifest
+    (Manifest.Watermark { seq = t.seq; next_file = t.next_file });
+  Manifest.sync t.manifest
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+type bucket_info = {
+  lo : string;
+  memtable_items : int;
+  memtable_structure : Memtable.structure;
+  sublevels_per_level : int list;
+  bytes : int;
+}
+
+let bucket_infos t =
+  Array.to_list t.buckets
+  |> List.map (fun (b : bucket) ->
+         {
+           lo = b.lo;
+           memtable_items = Memtable.count b.memtable;
+           memtable_structure = Memtable.structure b.memtable;
+           sublevels_per_level =
+             Array.to_list (Array.map List.length b.levels);
+           bytes = bucket_bytes b;
+         })
+
+let file_sizes t =
+  Array.to_list t.buckets
+  |> List.concat_map (fun b ->
+         Array.to_list b.levels
+         |> List.concat_map (List.map (fun (m : Table.meta) -> m.Table.size)))
+
+let memtable_probes t =
+  Array.fold_left (fun acc b -> acc + Memtable.probes b.memtable) 0 t.buckets
+
+let _ = bucket_hi

@@ -1,0 +1,81 @@
+(** WipDB: a write-in-place key-value store that mimics bucket sort.
+
+    The key space is partitioned into buckets; each incoming item goes
+    straight into the bucket that owns its key range (write-in-place, like
+    bucket sort), where a miniature tiered LSM-tree of at most
+    [Config.l_max] levels manages it. Merging a level rewrites nothing in
+    the target level, so compaction-induced write amplification is bounded
+    by [l_max]; bucket splits add at most [N/(N-1)] more — ≈ 4.15 total with
+    the paper's defaults, independent of store size.
+
+    Front ends: one MemTable per bucket (hash-structured by default, §III-C),
+    a shared write-ahead log with Figure-5 tail reclamation (§III-F), an
+    incremental manifest for structural recovery, read-aware compaction
+    scheduling (§III-G) and adaptive per-bucket MemTable structure (§III-D). *)
+
+type t
+
+val create : ?env:Wip_storage.Env.t -> Config.t -> t
+(** A fresh store. @raise Invalid_argument if the config fails
+    {!Config.validate}. *)
+
+val recover : ?env:Wip_storage.Env.t -> Config.t -> t
+(** Reopen the store persisted in [env]: replay the manifest to rebuild the
+    bucket directory and the WAL to repopulate MemTables. Equivalent to
+    [create] when no prior state exists. *)
+
+val checkpoint : t -> unit
+(** Flush durability barriers (WAL + manifest sync). *)
+
+(** {1 The KV interface} *)
+
+include Wip_kv.Store_intf.S with type t := t
+
+(** {1 Snapshots} *)
+
+val snapshot : t -> int64
+(** Current sequence number; reads at this snapshot see no later writes. *)
+
+val get_at : t -> string -> snapshot:int64 -> string option
+
+val scan_at :
+  t -> lo:string -> hi:string -> ?limit:int -> snapshot:int64 -> unit ->
+  (string * string) list
+
+(** {1 Introspection (benchmarks, tests)} *)
+
+type bucket_info = {
+  lo : string;  (** inclusive lower key bound; [""] for the first bucket *)
+  memtable_items : int;
+  memtable_structure : Wip_memtable.Memtable.structure;
+  sublevels_per_level : int list;  (** length [l_max] *)
+  bytes : int;  (** on-device bytes of all the bucket's tables *)
+}
+
+val bucket_infos : t -> bucket_info list
+
+val bucket_count : t -> int
+
+val split_count : t -> int
+
+val compaction_count : t -> int
+
+val wal_bytes : t -> int
+
+val sequence : t -> int64
+
+val memtable_probes : t -> int
+(** Cumulative MemTable probe count across all buckets (Figure 3 proxy). *)
+
+val config : t -> Config.t
+
+(** {1 Streaming iteration}
+
+    [iter_range] is the lazy counterpart of {!scan}: entries materialize one
+    data block at a time as the sequence is consumed, so arbitrarily large
+    ranges stream in bounded memory. The sequence is a consistent view at
+    the chosen (or current) snapshot. *)
+
+val iter_range :
+  t -> ?snapshot:int64 -> lo:string -> hi:string -> unit ->
+  (string * string) Seq.t

@@ -1,0 +1,5 @@
+(** Library root: re-exports the WipDB store and its supporting modules. *)
+
+module Config = Config
+module Manifest = Wip_manifest.Manifest
+module Store = Store

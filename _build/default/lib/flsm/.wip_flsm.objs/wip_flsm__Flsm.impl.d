@@ -1,0 +1,1 @@
+lib/flsm/flsm.ml: Array Hashtbl Int64 List Option Printf Seq String Wip_manifest Wip_memtable Wip_sstable Wip_storage Wip_util Wip_wal

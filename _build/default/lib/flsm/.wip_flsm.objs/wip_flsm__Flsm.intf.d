@@ -1,0 +1,1 @@
+lib/flsm/flsm.mli: Wip_kv Wip_storage

@@ -1,0 +1,1 @@
+lib/kv/store_intf.ml: Wip_storage Wip_util

@@ -1,0 +1,56 @@
+(** The key-value store interface every engine in this repository implements
+    (WipDB and the LevelDB-, RocksDB- and PebblesDB-like baselines), so the
+    benchmark harness and the examples can drive them interchangeably. *)
+
+module type S = sig
+  type t
+
+  val put : t -> key:string -> value:string -> unit
+
+  val write_batch : t -> (Wip_util.Ikey.kind * string * string) list -> unit
+  (** Atomically logged batch (the paper batches 1000 writes per log append). *)
+
+  val delete : t -> key:string -> unit
+
+  val get : t -> string -> string option
+
+  val scan : t -> lo:string -> hi:string -> ?limit:int -> unit -> (string * string) list
+  (** Live entries with [lo <= key < hi], ascending, at most [limit]. *)
+
+  val flush : t -> unit
+  (** Persist all memtable contents to level-0 tables. *)
+
+  val maintenance : t -> ?budget_bytes:int -> unit -> unit
+  (** Run pending background work (compactions). [budget_bytes] bounds the
+      amount of compaction I/O performed; omit it to run to quiescence. *)
+
+  val env : t -> Wip_storage.Env.t
+
+  val io_stats : t -> Wip_storage.Io_stats.t
+
+  val file_sizes : t -> int list
+  (** Sizes of all live data files (Figure 11). *)
+
+  val name : t -> string
+end
+
+(* Existential wrapper so heterogeneous engines fit in one list. *)
+type store = Store : (module S with type t = 'a) * 'a -> store
+
+let put (Store ((module M), t)) ~key ~value = M.put t ~key ~value
+let write_batch (Store ((module M), t)) items = M.write_batch t items
+let delete (Store ((module M), t)) ~key = M.delete t ~key
+let get (Store ((module M), t)) key = M.get t key
+
+let scan (Store ((module M), t)) ~lo ~hi ?limit () =
+  M.scan t ~lo ~hi ?limit ()
+
+let flush (Store ((module M), t)) = M.flush t
+
+let maintenance (Store ((module M), t)) ?budget_bytes () =
+  M.maintenance t ?budget_bytes ()
+
+let env (Store ((module M), t)) = M.env t
+let io_stats (Store ((module M), t)) = M.io_stats t
+let file_sizes (Store ((module M), t)) = M.file_sizes t
+let store_name (Store ((module M), t)) = M.name t

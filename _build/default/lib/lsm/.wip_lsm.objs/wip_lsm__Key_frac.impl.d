@@ -1,0 +1,1 @@
+lib/lsm/key_frac.ml: Char Int64 String

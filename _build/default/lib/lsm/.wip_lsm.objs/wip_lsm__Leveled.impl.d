@@ -1,0 +1,1 @@
+lib/lsm/leveled.ml: Array Hashtbl Int64 Key_frac List Printf Seq String Wip_manifest Wip_memtable Wip_sstable Wip_storage Wip_util Wip_wal

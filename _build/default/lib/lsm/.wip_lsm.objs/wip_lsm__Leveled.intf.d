@@ -1,0 +1,1 @@
+lib/lsm/leveled.mli: Wip_kv Wip_sstable Wip_storage

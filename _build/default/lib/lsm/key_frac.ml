@@ -1,0 +1,12 @@
+(* Position of a fixed-width decimal key within a numeric key space, as a
+   fraction in [0, 1]. Non-numeric keys fall back to interpreting the first
+   8 bytes as a big-endian integer over the byte space. *)
+let of_key key ~space =
+  match Int64.of_string_opt key with
+  | Some v -> Int64.to_float v /. Int64.to_float space
+  | None ->
+    let v = ref 0.0 in
+    for i = 0 to min 7 (String.length key - 1) do
+      v := (!v *. 256.0) +. float_of_int (Char.code key.[i])
+    done;
+    !v /. (256.0 ** float_of_int (min 8 (String.length key)))

@@ -1,0 +1,531 @@
+module Ikey = Wip_util.Ikey
+module Env = Wip_storage.Env
+module Io_stats = Wip_storage.Io_stats
+module Table = Wip_sstable.Table
+module Merge_iter = Wip_sstable.Merge_iter
+module Skiplist = Wip_memtable.Skiplist
+module Wal = Wip_wal.Wal
+module Manifest = Wip_manifest.Manifest
+
+type config = {
+  memtable_bytes : int;
+  sstable_bytes : int;
+  l0_compaction_trigger : int;
+  level1_bytes : int;
+  level_multiplier : int;
+  max_levels : int;
+  bits_per_key : int;
+  name : string;
+}
+
+let leveldb_config ~scale =
+  {
+    memtable_bytes = 64 * 1024 * scale;
+    sstable_bytes = 32 * 1024 * scale;
+    l0_compaction_trigger = 4;
+    level1_bytes = 256 * 1024 * scale;
+    level_multiplier = 10;
+    max_levels = 7;
+    bits_per_key = 10;
+    name = "LevelDB";
+  }
+
+let rocksdb_config ~scale =
+  (* RocksDB-flavoured tuning: larger target files and level-1 budget. *)
+  {
+    (leveldb_config ~scale) with
+    sstable_bytes = 64 * 1024 * scale;
+    level1_bytes = 384 * 1024 * scale;
+    name = "RocksDB";
+  }
+
+let rocksdb_bigmem_config ~scale =
+  {
+    (rocksdb_config ~scale) with
+    memtable_bytes = 64 * 1024 * scale * 25;
+    name = "RocksDB-bigmem";
+  }
+
+type t = {
+  cfg : config;
+  env : Env.t;
+  wal : Wal.t;
+  manifest : Manifest.t;
+  mutable mem : Skiplist.t;
+  mutable levels : Table.meta list array;
+  (* L0: newest first (flush order); L1+: sorted by smallest key, disjoint. *)
+  readers : (string, Table.Reader.t) Hashtbl.t;
+  mutable next_file : int;
+  mutable seq : int64;
+  mutable compact_pointer : string array; (* round-robin cursor per level *)
+  mutable compactions : int;
+}
+
+let manifest_name cfg = cfg.name ^ "-manifest"
+
+let create ?env cfg =
+  let env = match env with Some e -> e | None -> Env.in_memory () in
+  {
+    cfg;
+    env;
+    wal = Wal.create env ~prefix:(cfg.name ^ "-wal") ();
+    manifest = Manifest.create env ~name:(manifest_name cfg);
+    mem = Skiplist.create ();
+    levels = Array.make cfg.max_levels [];
+    readers = Hashtbl.create 64;
+    next_file = 1;
+    seq = 0L;
+    compact_pointer = Array.make cfg.max_levels "";
+    compactions = 0;
+  }
+
+let config t = t.cfg
+
+let name t = t.cfg.name
+
+let env t = t.env
+
+let io_stats t = Env.stats t.env
+
+let fresh_table_name t =
+  let n = t.next_file in
+  t.next_file <- n + 1;
+  Printf.sprintf "%s-%06d.sst" t.cfg.name n
+
+let reader_of t (meta : Table.meta) =
+  match Hashtbl.find_opt t.readers meta.Table.name with
+  | Some r -> r
+  | None ->
+    let r = Table.Reader.open_ t.env ~name:meta.Table.name in
+    Hashtbl.replace t.readers meta.Table.name r;
+    r
+
+let drop_table t (meta : Table.meta) =
+  (match Hashtbl.find_opt t.readers meta.Table.name with
+  | Some r ->
+    Table.Reader.close r;
+    Hashtbl.remove t.readers meta.Table.name
+  | None -> ());
+  Env.delete t.env meta.Table.name
+
+let level_capacity t level =
+  (* Level 0 is triggered by file count, not bytes. *)
+  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+  t.cfg.level1_bytes * pow t.cfg.level_multiplier (level - 1)
+
+let level_bytes t level =
+  List.fold_left (fun acc (m : Table.meta) -> acc + m.Table.size) 0 t.levels.(level)
+
+(* ------------------------------------------------------------------ *)
+(* Writing *)
+
+let flush_mem t =
+  if Skiplist.count t.mem > 0 then begin
+    let name = fresh_table_name t in
+    let builder =
+      Table.Builder.create t.env ~name ~category:Io_stats.Flush
+        ~bits_per_key:t.cfg.bits_per_key
+        ~expected_keys:(Skiplist.count t.mem) ()
+    in
+    Seq.iter (fun (ik, v) -> Table.Builder.add builder ik v)
+      (Skiplist.to_sorted_seq t.mem);
+    let meta = Table.Builder.finish builder in
+    t.levels.(0) <- meta :: t.levels.(0);
+    Manifest.append t.manifest
+      (Manifest.Add_table
+         {
+           bucket = 0;
+           level = 0;
+           name = meta.Table.name;
+           size = meta.Table.size;
+           entry_count = meta.Table.entry_count;
+           smallest = meta.Table.smallest;
+           largest = meta.Table.largest;
+         });
+    Manifest.append t.manifest
+      (Manifest.Watermark { seq = t.seq; next_file = t.next_file });
+    t.mem <- Skiplist.create ();
+    ignore (Wal.reclaim t.wal ~persisted_below:(Int64.add t.seq 1L))
+  end
+
+(* Build one or more target-size output tables from a compacted entry
+   sequence. *)
+let write_outputs t ~category ~drop_tombstones entries =
+  let outputs = ref [] in
+  let builder = ref None in
+  let start_builder () =
+    let name = fresh_table_name t in
+    let b =
+      Table.Builder.create t.env ~name ~category
+        ~bits_per_key:t.cfg.bits_per_key
+        ~expected_keys:(max 64 (t.cfg.sstable_bytes / 64))
+        ()
+    in
+    builder := Some b;
+    b
+  in
+  let finish_builder () =
+    match !builder with
+    | Some b ->
+      if Table.Builder.entry_count b > 0 then
+        outputs := Table.Builder.finish b :: !outputs
+      else Table.Builder.abandon b;
+      builder := None
+    | None -> ()
+  in
+  Seq.iter
+    (fun (ik, v) ->
+      ignore drop_tombstones;
+      let b = match !builder with Some b -> b | None -> start_builder () in
+      Table.Builder.add b ik v;
+      if Table.Builder.estimated_size b >= t.cfg.sstable_bytes then
+        finish_builder ())
+    entries;
+  finish_builder ();
+  List.rev !outputs
+
+let table_seq t ~category meta =
+  Table.Reader.iter_from (reader_of t meta) ~category ()
+
+(* Insert [metas] into sorted level list (levels >= 1 stay sorted by
+   smallest key). *)
+let sorted_level metas =
+  List.sort
+    (fun (a : Table.meta) (b : Table.meta) ->
+      String.compare a.Table.smallest b.Table.smallest)
+    metas
+
+let overlapping_files level ~lo ~hi =
+  List.partition (fun m -> Table.overlaps m ~lo ~hi) level
+
+(* Compact level -> level+1. For L0, all L0 files participate (their ranges
+   overlap); for deeper levels one file is chosen round-robin. *)
+let compact_level t level =
+  t.compactions <- t.compactions + 1;
+  let target = level + 1 in
+  let sources =
+    if level = 0 then t.levels.(0)
+    else begin
+      match t.levels.(level) with
+      | [] -> []
+      | files ->
+        let cursor = t.compact_pointer.(level) in
+        let next =
+          try List.find (fun (m : Table.meta) -> String.compare m.Table.smallest cursor > 0) files
+          with Not_found -> List.hd files
+        in
+        t.compact_pointer.(level) <- next.Table.smallest;
+        [ next ]
+    end
+  in
+  if sources = [] then ()
+  else begin
+    let lo =
+      List.fold_left
+        (fun acc (m : Table.meta) -> min acc m.Table.smallest)
+        (List.hd sources).Table.smallest sources
+    and hi =
+      List.fold_left
+        (fun acc (m : Table.meta) -> max acc m.Table.largest)
+        (List.hd sources).Table.largest sources
+    in
+    let overlapping, untouched = overlapping_files t.levels.(target) ~lo ~hi in
+    let inputs = sources @ overlapping in
+    let read_cat m =
+      if List.memq m sources then Io_stats.Compaction_read level
+      else Io_stats.Compaction_read target
+    in
+    let seqs = List.map (fun m -> table_seq t ~category:(read_cat m) m) inputs in
+    (* Tombstones can be dropped when the output level is the deepest level
+       holding data for this key range. *)
+    let deeper_has_data =
+      let rec check l =
+        if l >= t.cfg.max_levels then false
+        else if fst (overlapping_files t.levels.(l) ~lo ~hi) <> [] then true
+        else check (l + 1)
+      in
+      check (target + 1)
+    in
+    let entries =
+      Merge_iter.compact ~dedup_user_keys:true
+        ~drop_tombstones:(not deeper_has_data) seqs
+    in
+    let outputs =
+      write_outputs t ~category:(Io_stats.Compaction target)
+        ~drop_tombstones:(not deeper_has_data) entries
+    in
+    (* Install: remove inputs, add outputs to target. *)
+    if level = 0 then t.levels.(0) <- []
+    else
+      t.levels.(level) <-
+        List.filter (fun m -> not (List.memq m sources)) t.levels.(level);
+    t.levels.(target) <- sorted_level (untouched @ outputs);
+    List.iter
+      (fun (m : Table.meta) ->
+        Manifest.append t.manifest
+          (Manifest.Add_table
+             {
+               bucket = 0;
+               level = target;
+               name = m.Table.name;
+               size = m.Table.size;
+               entry_count = m.Table.entry_count;
+               smallest = m.Table.smallest;
+               largest = m.Table.largest;
+             }))
+      outputs;
+    List.iter
+      (fun (m : Table.meta) ->
+        let from_level = if List.memq m sources then level else target in
+        Manifest.append t.manifest
+          (Manifest.Remove_table { bucket = 0; level = from_level; name = m.Table.name }))
+      inputs;
+    Manifest.append t.manifest
+      (Manifest.Watermark { seq = t.seq; next_file = t.next_file });
+    List.iter (drop_table t) inputs
+  end
+
+(* LevelDB-style scores; >= 1.0 means the level needs compaction. *)
+let compaction_score t level =
+  if level = 0 then
+    float_of_int (List.length t.levels.(0))
+    /. float_of_int t.cfg.l0_compaction_trigger
+  else
+    float_of_int (level_bytes t level) /. float_of_int (level_capacity t level)
+
+let pick_compaction t =
+  let best = ref None in
+  for level = 0 to t.cfg.max_levels - 2 do
+    let score = compaction_score t level in
+    if score >= 1.0 then
+      match !best with
+      | Some (_, s) when s >= score -> ()
+      | _ -> best := Some (level, score)
+  done;
+  !best
+
+let maintenance t ?budget_bytes () =
+  let budget = ref (match budget_bytes with Some b -> b | None -> max_int) in
+  let rec loop () =
+    if !budget > 0 then
+      match pick_compaction t with
+      | Some (level, _score) ->
+        let before = Io_stats.bytes_written (io_stats t) in
+        compact_level t level;
+        let after = Io_stats.bytes_written (io_stats t) in
+        budget := !budget - (after - before);
+        loop ()
+      | None -> ()
+  in
+  loop ()
+
+let recover ?env cfg =
+  let env = match env with Some e -> e | None -> Env.in_memory () in
+  if not (Manifest.exists env ~name:(manifest_name cfg)) then create ~env cfg
+  else begin
+    let t =
+      {
+        cfg;
+        env;
+        (* Replaced below once the real WAL is recovered. *)
+        wal = Wal.create env ~prefix:(cfg.name ^ "-tmpwal") ();
+        manifest = Manifest.reopen env ~name:(manifest_name cfg);
+        mem = Skiplist.create ();
+        levels = Array.make cfg.max_levels [];
+        readers = Hashtbl.create 64;
+        next_file = 1;
+        seq = 0L;
+        compact_pointer = Array.make cfg.max_levels "";
+        compactions = 0;
+      }
+    in
+    Manifest.replay env ~name:(manifest_name cfg) (fun edit ->
+        match edit with
+        | Manifest.Add_table { level; name; size; entry_count; smallest; largest; _ } ->
+          let meta = { Table.name; size; entry_count; smallest; largest } in
+          t.levels.(level) <- meta :: t.levels.(level)
+        | Manifest.Remove_table { level; name; _ } ->
+          t.levels.(level) <-
+            List.filter
+              (fun (m : Table.meta) -> not (String.equal m.Table.name name))
+              t.levels.(level)
+        | Manifest.Watermark { seq; next_file } ->
+          t.seq <- seq;
+          t.next_file <- max t.next_file next_file
+        | Manifest.Add_bucket _ | Manifest.Remove_bucket _ -> ());
+    for level = 1 to cfg.max_levels - 1 do
+      t.levels.(level) <- sorted_level t.levels.(level)
+    done;
+    let wal =
+      Wal.recover env ~prefix:(cfg.name ^ "-wal")
+        ~replay:(fun (r : Wal.record) ->
+          if Int64.compare r.Wal.seq t.seq > 0 then t.seq <- r.Wal.seq;
+          Skiplist.add t.mem
+            (Ikey.make ~kind:r.Wal.kind r.Wal.key ~seq:r.Wal.seq)
+            r.Wal.value)
+        ()
+    in
+    Env.delete env (cfg.name ^ "-tmpwal-000000.log");
+    let t = { t with wal } in
+    if Int64.compare (Wal.max_seq_logged wal) t.seq > 0 then
+      t.seq <- Wal.max_seq_logged wal;
+    t
+  end
+
+let apply t kind key value =
+  let seq = Int64.add t.seq 1L in
+  t.seq <- seq;
+  Skiplist.add t.mem (Ikey.make ~kind key ~seq) value;
+  Io_stats.record_write (io_stats t) Io_stats.User_write
+    (String.length key + String.length value);
+  if Skiplist.byte_size t.mem >= t.cfg.memtable_bytes then begin
+    flush_mem t;
+    maintenance t ()
+  end
+
+let write_batch t items =
+  if items <> [] then begin
+    Wal.append_batch t.wal ~first_seq:(Int64.add t.seq 1L) items;
+    List.iter (fun (kind, key, value) -> apply t kind key value) items
+  end
+
+let put t ~key ~value = write_batch t [ (Ikey.Value, key, value) ]
+
+let delete t ~key = write_batch t [ (Ikey.Deletion, key, "") ]
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+let get t key =
+  let snapshot = t.seq in
+  match Skiplist.find t.mem key ~snapshot with
+  | Some (Ikey.Value, v) -> Some v
+  | Some (Ikey.Deletion, _) -> None
+  | None ->
+    let check_meta (m : Table.meta) =
+      if not (Table.overlaps m ~lo:key ~hi:key) then None
+      else
+        Table.Reader.get (reader_of t m) ~category:Io_stats.Read_path key
+          ~snapshot
+    in
+    let rec check_l0 = function
+      | [] -> check_levels 1
+      | m :: rest -> (
+        match check_meta m with
+        | Some (Ikey.Value, v, _) -> Some v
+        | Some (Ikey.Deletion, _, _) -> None
+        | None -> check_l0 rest)
+    and check_levels level =
+      if level >= t.cfg.max_levels then None
+      else
+        (* Non-overlapping: at most one candidate file. *)
+        let candidate =
+          List.find_opt (fun m -> Table.overlaps m ~lo:key ~hi:key) t.levels.(level)
+        in
+        match candidate with
+        | Some m -> (
+          match check_meta m with
+          | Some (Ikey.Value, v, _) -> Some v
+          | Some (Ikey.Deletion, _, _) -> None
+          | None -> check_levels (level + 1))
+        | None -> check_levels (level + 1)
+    in
+    check_l0 t.levels.(0)
+
+let scan t ~lo ~hi ?(limit = max_int) () =
+  let snapshot = t.seq in
+  let mem_seq =
+    Skiplist.to_sorted_seq t.mem
+    |> Seq.filter (fun ((ik : Ikey.t), _) ->
+           Ikey.compare_user ik.Ikey.user_key lo >= 0
+           && Ikey.compare_user ik.Ikey.user_key hi < 0)
+  in
+  let table_seqs =
+    Array.to_list t.levels
+    |> List.concat_map (fun level ->
+           List.filter_map
+             (fun m ->
+               if Table.overlaps m ~lo ~hi:(hi ^ "\255") then
+                 Some
+                   (Table.Reader.iter_from (reader_of t m)
+                      ~category:Io_stats.Read_path ~lo ()
+                   |> Seq.take_while (fun ((ik : Ikey.t), _) ->
+                          Ikey.compare_user ik.Ikey.user_key hi < 0))
+               else None)
+             level)
+  in
+  let merged =
+    Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:false
+      ~snapshot_floor:snapshot
+      (mem_seq :: table_seqs)
+  in
+  let out = ref [] and n = ref 0 and last = ref None in
+  (try
+     Seq.iter
+       (fun ((ik : Ikey.t), v) ->
+         if !n >= limit then raise Exit;
+         if Int64.compare ik.Ikey.seq snapshot <= 0 then begin
+           let dup =
+             match !last with
+             | Some k -> String.equal k ik.Ikey.user_key
+             | None -> false
+           in
+           if not dup then begin
+             last := Some ik.Ikey.user_key;
+             match ik.Ikey.kind with
+             | Ikey.Value ->
+               out := (ik.Ikey.user_key, v) :: !out;
+               incr n
+             | Ikey.Deletion -> ()
+           end
+         end)
+       merged
+   with Exit -> ());
+  List.rev !out
+
+let flush t = flush_mem t
+
+let file_sizes t =
+  Array.to_list t.levels
+  |> List.concat_map (List.map (fun (m : Table.meta) -> m.Table.size))
+
+let level_count t =
+  let rec deepest l = if l < 0 then 0 else if t.levels.(l) <> [] then l + 1 else deepest (l - 1) in
+  deepest (t.cfg.max_levels - 1)
+
+let files_at_level t level = t.levels.(level)
+
+let compaction_count t = t.compactions
+
+(* Figure 2: hypothetical guard positions. Walk the level's files in key
+   order; a guard sits at every [every]-th key. Within a file, interpolate
+   numerically between its smallest and largest key (keys are fixed-width
+   decimal so this is accurate for the plot's purpose). *)
+let guard_positions t ~level ~every ~space =
+  let files =
+    if level = 0 then sorted_level t.levels.(0) else t.levels.(level)
+  in
+  let positions = ref [] in
+  let carried = ref 0 in
+  List.iter
+    (fun (m : Table.meta) ->
+      if m.Table.entry_count > 0 then begin
+        let lo = Key_frac.of_key m.Table.smallest ~space in
+        let hi = Key_frac.of_key m.Table.largest ~space in
+        let count = m.Table.entry_count in
+        let first_guard = every - !carried in
+        let rec emit ordinal =
+          if ordinal <= count then begin
+            let frac =
+              lo +. ((hi -. lo) *. float_of_int ordinal /. float_of_int count)
+            in
+            positions := frac :: !positions;
+            emit (ordinal + every)
+          end
+          else carried := count - (ordinal - every)
+        in
+        if first_guard <= count then emit first_guard
+        else carried := !carried + count
+      end)
+    files;
+  List.rev !positions

@@ -1,0 +1,1 @@
+lib/manifest/manifest.ml: Buffer Char Filename List Printf String Wip_storage Wip_util

@@ -1,0 +1,1 @@
+lib/manifest/manifest.mli: Wip_storage

@@ -1,0 +1,45 @@
+(** Incremental manifest: durable structural metadata for any engine.
+
+    Every structural change — a group (WipDB bucket / guard span; 0 for the
+    leveled stores) created or retired, a table added to or removed from a
+    group's level — appends one CRC-framed edit record to the manifest log.
+    Recovery replays the edits in order to rebuild the structure exactly
+    (including each level's newest-first order), then replays the WAL for
+    MemTable contents. Appending deltas (rather than rewriting a snapshot
+    per change) keeps manifest traffic negligible, as in LevelDB's
+    VersionEdit scheme. *)
+
+type edit =
+  | Add_bucket of { id : int; lo : string }
+  | Remove_bucket of { id : int }
+  | Add_table of {
+      bucket : int;
+      level : int;
+      name : string;
+      size : int;
+      entry_count : int;
+      smallest : string;
+      largest : string;
+    }
+  | Remove_table of { bucket : int; level : int; name : string }
+  | Watermark of { seq : int64; next_file : int }
+
+type t
+
+val create : Wip_storage.Env.t -> name:string -> t
+(** Starts a fresh manifest log, truncating any existing one. *)
+
+val append : t -> edit -> unit
+
+val sync : t -> unit
+
+val exists : Wip_storage.Env.t -> name:string -> bool
+
+val replay : Wip_storage.Env.t -> name:string -> (edit -> unit) -> unit
+(** Feeds every intact edit, in append order, to the callback; stops at the
+    first torn or corrupt record. *)
+
+val reopen : Wip_storage.Env.t -> name:string -> t
+(** Open for appending after replay (edits continue the same log). *)
+
+val bytes_written : t -> int

@@ -1,0 +1,1 @@
+lib/memtable/hash_memtable.ml: Array Int64 String Wip_util

@@ -1,0 +1,1 @@
+lib/memtable/hash_memtable.mli: Wip_util

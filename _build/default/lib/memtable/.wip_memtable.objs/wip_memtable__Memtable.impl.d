@@ -1,0 +1,1 @@
+lib/memtable/memtable.ml: Array Hash_memtable Int64 List Skiplist String Wip_util

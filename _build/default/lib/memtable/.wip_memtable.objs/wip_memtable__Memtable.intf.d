@@ -1,0 +1,1 @@
+lib/memtable/memtable.mli: Wip_util

@@ -1,0 +1,1 @@
+lib/memtable/skiplist.ml: Array Int64 List Seq String Wip_util

@@ -1,0 +1,42 @@
+(** Unified MemTable front.
+
+    A WipDB bucket owns one of these; the underlying structure is either the
+    {!Hash_memtable} (default, write-optimized) or the {!Skiplist}
+    (range-scan friendly). The adaptive policy in the core library decides
+    which structure each bucket's next table uses, based on recent
+    range-query traffic (paper §III-D). *)
+
+type structure = Hash | Sorted
+
+type t
+
+val create : structure:structure -> capacity_items:int -> capacity_bytes:int -> t
+
+val structure : t -> structure
+
+val try_add : t -> Wip_util.Ikey.t -> string -> bool
+(** [false] iff the table is full; the item was not inserted. A skiplist
+    table is full when [capacity_bytes] or [capacity_items] is reached; a
+    hash table additionally when a directory entry overflows. *)
+
+val find : t -> string -> snapshot:int64 -> (Wip_util.Ikey.kind * string) option
+
+val sorted_entries : t -> (Wip_util.Ikey.t * string) array
+(** For flushing and range search. Hash tables sort into a one-time buffer;
+    skiplists just materialize their order. *)
+
+val range : t -> lo:string -> hi:string -> snapshot:int64
+  -> (string * (Wip_util.Ikey.kind * string * int64)) list
+(** All newest-visible versions (including tombstones, which the store-level
+    merge needs) with [lo <= key < hi], ascending: [(key, (kind, value, seq))]. *)
+
+val count : t -> int
+
+val byte_size : t -> int
+
+val probes : t -> int
+
+val is_empty : t -> bool
+
+val min_seq : t -> int64 option
+(** Smallest sequence number held — drives WAL reclamation. *)

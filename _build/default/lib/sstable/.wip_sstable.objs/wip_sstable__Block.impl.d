@@ -1,0 +1,1 @@
+lib/sstable/block.ml: Buffer List String Table_format Wip_util

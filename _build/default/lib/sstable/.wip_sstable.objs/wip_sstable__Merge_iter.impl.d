@@ -1,0 +1,1 @@
+lib/sstable/merge_iter.ml: Int64 List Option Seq String Wip_util

@@ -1,0 +1,1 @@
+lib/sstable/merge_iter.mli: Seq Wip_util

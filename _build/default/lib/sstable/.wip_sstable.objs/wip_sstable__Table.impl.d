@@ -1,0 +1,1 @@
+lib/sstable/table.ml: Array Block Buffer Int64 List Seq String Table_format Wip_bloom Wip_storage Wip_util

@@ -1,0 +1,1 @@
+lib/sstable/table.mli: Seq Wip_storage Wip_util

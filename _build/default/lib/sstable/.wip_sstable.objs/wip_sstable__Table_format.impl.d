@@ -1,0 +1,1 @@
+lib/sstable/table_format.ml: Buffer Int64 String Wip_util

@@ -1,0 +1,109 @@
+module Coding = Wip_util.Coding
+
+module Builder = struct
+  type t = {
+    buf : Buffer.t;
+    mutable restarts : int list; (* reverse order *)
+    mutable counter : int;
+    mutable last_key : string;
+    mutable entries : int;
+  }
+
+  let create () =
+    { buf = Buffer.create 4096; restarts = [ 0 ]; counter = 0; last_key = ""; entries = 0 }
+
+  let shared_prefix_length a b =
+    let n = min (String.length a) (String.length b) in
+    let rec loop i = if i < n && a.[i] = b.[i] then loop (i + 1) else i in
+    loop 0
+
+  let add t ~key ~value =
+    assert (t.entries = 0 || String.compare t.last_key key <= 0);
+    let shared =
+      if t.counter < Table_format.restart_interval then
+        shared_prefix_length t.last_key key
+      else begin
+        t.restarts <- Buffer.length t.buf :: t.restarts;
+        t.counter <- 0;
+        0
+      end
+    in
+    Coding.put_varint t.buf shared;
+    Coding.put_varint t.buf (String.length key - shared);
+    Coding.put_varint t.buf (String.length value);
+    Buffer.add_substring t.buf key shared (String.length key - shared);
+    Buffer.add_string t.buf value;
+    t.last_key <- key;
+    t.counter <- t.counter + 1;
+    t.entries <- t.entries + 1
+
+  let size_estimate t =
+    Buffer.length t.buf + (4 * List.length t.restarts) + 4
+
+  let entry_count t = t.entries
+
+  let finish t =
+    let restarts = List.rev t.restarts in
+    List.iter (fun off -> Coding.put_fixed32 t.buf off) restarts;
+    Coding.put_fixed32 t.buf (List.length restarts);
+    Buffer.contents t.buf
+end
+
+let restart_info raw =
+  let n = String.length raw in
+  let count = Coding.get_fixed32 raw (n - 4) in
+  let restart_base = n - 4 - (4 * count) in
+  (count, restart_base)
+
+let restart_offset raw restart_base i = Coding.get_fixed32 raw (restart_base + (4 * i))
+
+(* Decode the entry at [off]; returns (key, value, next_off). [prev_key] is
+   the fully reconstructed previous key for prefix sharing. *)
+let decode_entry raw ~prev_key off =
+  let shared, off = Coding.get_varint raw off in
+  let unshared, off = Coding.get_varint raw off in
+  let vlen, off = Coding.get_varint raw off in
+  let key = String.sub prev_key 0 shared ^ String.sub raw off unshared in
+  let off = off + unshared in
+  let value = String.sub raw off vlen in
+  (key, value, off + vlen)
+
+let decode_all raw =
+  let _count, restart_base = restart_info raw in
+  let rec loop off prev_key acc =
+    if off >= restart_base then List.rev acc
+    else
+      let key, value, off' = decode_entry raw ~prev_key off in
+      loop off' key ((key, value) :: acc)
+  in
+  loop 0 "" []
+
+let seek raw ~compare =
+  let count, restart_base = restart_info raw in
+  (* Binary search restarts for the last restart whose key has compare < 0. *)
+  let key_at_restart i =
+    let off = restart_offset raw restart_base i in
+    let key, _v, _next = decode_entry raw ~prev_key:"" off in
+    key
+  in
+  let rec bsearch lo hi =
+    (* invariant: restart lo's key compares < 0 (or lo = 0); hi's >= 0 or hi = count *)
+    if hi - lo <= 1 then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if compare (key_at_restart mid) < 0 then bsearch mid hi else bsearch lo mid
+  in
+  if count = 0 then None
+  else begin
+    let start =
+      if compare (key_at_restart 0) >= 0 then 0
+      else bsearch 0 count
+    in
+    let rec scan off prev_key =
+      if off >= restart_base then None
+      else
+        let key, value, off' = decode_entry raw ~prev_key off in
+        if compare key >= 0 then Some (key, value) else scan off' key
+    in
+    scan (restart_offset raw restart_base start) ""
+  end

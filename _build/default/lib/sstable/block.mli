@@ -1,0 +1,33 @@
+(** Prefix-compressed key/value blocks.
+
+    Entries are appended in ascending key order; every
+    {!Table_format.restart_interval} entries a restart point stores the full
+    key so that readers can binary-search restarts and then scan forward.
+    Keys here are opaque byte strings (the table layer passes encoded
+    internal keys). *)
+
+module Builder : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> key:string -> value:string -> unit
+
+  val size_estimate : t -> int
+  (** Bytes the finished (unsealed) block would occupy so far. *)
+
+  val entry_count : t -> int
+
+  val finish : t -> string
+  (** Raw block bytes (no CRC trailer); the builder must not be reused. *)
+end
+
+val decode_all : string -> (string * string) list
+(** All entries of a raw block in order. *)
+
+val seek : string -> compare:(string -> int) -> (string * string) option
+(** [seek raw ~compare] returns the first entry whose key [k] satisfies
+    [compare k >= 0] — i.e. [compare] is [fun k -> some_order k target]
+    negated... concretely: pass [compare = fun k -> cmp k] where [cmp k < 0]
+    while [k] precedes the target. Uses restart-point binary search then a
+    linear scan. *)

@@ -1,0 +1,65 @@
+module Ikey = Wip_util.Ikey
+
+(* A tiny pairing heap keyed by the head element of each sequence; k is
+   small (tens), so simplicity beats asymptotics here. *)
+type stream = { head : Ikey.t * string; tail : (Ikey.t * string) Seq.t }
+
+let stream_of_seq seq =
+  match seq () with
+  | Seq.Nil -> None
+  | Seq.Cons (head, tail) -> Some { head; tail }
+
+let stream_compare a b = Ikey.compare (fst a.head) (fst b.head)
+
+let merge seqs =
+  let streams = List.filter_map stream_of_seq seqs in
+  let rec next streams () =
+    match streams with
+    | [] -> Seq.Nil
+    | _ ->
+      let best =
+        List.fold_left
+          (fun acc s ->
+            match acc with
+            | None -> Some s
+            | Some b -> if stream_compare s b < 0 then Some s else acc)
+          None streams
+      in
+      let best = Option.get best in
+      let rest = List.filter (fun s -> s != best) streams in
+      let streams' =
+        match stream_of_seq best.tail with
+        | Some s -> s :: rest
+        | None -> rest
+      in
+      Seq.Cons (best.head, next streams')
+  in
+  next streams
+
+let compact ?(dedup_user_keys = true) ?(drop_tombstones = false)
+    ?(snapshot_floor = Int64.max_int) seqs =
+  let merged = merge seqs in
+  (* [emitted_below_floor]: a version of [last_user_key] with seq <= floor has
+     already been decided (kept or tombstone-dropped); all older ones are
+     shadowed. Versions with seq > floor always survive — an open snapshot may
+     still need them. *)
+  let rec filter last_user_key emitted_below_floor seq () =
+    match seq () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (((ik, _v) as entry), rest) ->
+      let same_key =
+        match last_user_key with
+        | Some k -> String.equal k ik.Ikey.user_key
+        | None -> false
+      in
+      let emitted_below_floor = same_key && emitted_below_floor in
+      let key' = Some ik.Ikey.user_key in
+      if Int64.compare ik.Ikey.seq snapshot_floor > 0 then
+        Seq.Cons (entry, filter key' emitted_below_floor rest)
+      else if dedup_user_keys && emitted_below_floor then
+        filter key' true rest ()
+      else if drop_tombstones && ik.Ikey.kind = Ikey.Deletion then
+        filter key' true rest ()
+      else Seq.Cons (entry, filter key' true rest)
+  in
+  filter None false merged

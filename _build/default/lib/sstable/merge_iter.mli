@@ -1,0 +1,20 @@
+(** K-way merge of internal-key-ordered sequences.
+
+    Inputs must each be sorted by {!Wip_util.Ikey.compare}. The merged output
+    preserves that order; with [dedup_user_keys] the newest version of each
+    user key survives and older versions are dropped; with [drop_tombstones]
+    surviving deletion markers are also elided (legal only when merging into
+    the bottommost data of a key range). *)
+
+val merge : (Wip_util.Ikey.t * string) Seq.t list -> (Wip_util.Ikey.t * string) Seq.t
+
+val compact :
+  ?dedup_user_keys:bool ->
+  ?drop_tombstones:bool ->
+  ?snapshot_floor:int64 ->
+  (Wip_util.Ikey.t * string) Seq.t list ->
+  (Wip_util.Ikey.t * string) Seq.t
+(** [snapshot_floor] (default: keep-newest-only regardless) protects
+    versions newer than the floor from dedup so that open snapshots keep
+    reading consistent data; versions at or below the floor collapse to the
+    newest one. *)

@@ -1,0 +1,298 @@
+module Ikey = Wip_util.Ikey
+module Env = Wip_storage.Env
+module Io_stats = Wip_storage.Io_stats
+
+type meta = {
+  name : string;
+  size : int;
+  entry_count : int;
+  smallest : string;
+  largest : string;
+}
+
+module Builder = struct
+  type t = {
+    env : Env.t;
+    name : string;
+    category : Io_stats.category;
+    block_size : int;
+    writer : Env.writer;
+    bloom : Wip_bloom.Bloom.t;
+    mutable block : Block.Builder.t;
+    mutable index_entries : (string * Table_format.block_handle) list; (* rev *)
+    mutable entry_count : int;
+    mutable smallest : string option;
+    mutable largest : string;
+    mutable last_ikey : Ikey.t option;
+    mutable written : int;
+  }
+
+  let create env ~name ~category ?(block_size = 4096) ?(bits_per_key = 10)
+      ?(expected_keys = 4096) () =
+    {
+      env;
+      name;
+      category;
+      block_size;
+      writer = Env.create_file env name;
+      bloom = Wip_bloom.Bloom.create ~bits_per_key ~expected_keys;
+      block = Block.Builder.create ();
+      index_entries = [];
+      entry_count = 0;
+      smallest = None;
+      largest = "";
+      last_ikey = None;
+      written = 0;
+    }
+
+  let flush_block t ~last_key =
+    if Block.Builder.entry_count t.block > 0 then begin
+      let raw = Block.Builder.finish t.block in
+      let sealed = Table_format.seal_block raw in
+      let handle =
+        { Table_format.offset = t.written; size = String.length sealed }
+      in
+      Env.append t.writer ~category:t.category sealed;
+      t.written <- t.written + String.length sealed;
+      t.index_entries <- (last_key, handle) :: t.index_entries;
+      t.block <- Block.Builder.create ()
+    end
+
+  let add t ikey value =
+    (match t.last_ikey with
+    | Some prev -> assert (Ikey.compare prev ikey < 0)
+    | None -> ());
+    let encoded = Ikey.encode ikey in
+    Block.Builder.add t.block ~key:encoded ~value;
+    Wip_bloom.Bloom.add t.bloom ikey.Ikey.user_key;
+    if t.smallest = None then t.smallest <- Some ikey.Ikey.user_key;
+    t.largest <- ikey.Ikey.user_key;
+    t.last_ikey <- Some ikey;
+    t.entry_count <- t.entry_count + 1;
+    if Block.Builder.size_estimate t.block >= t.block_size then
+      flush_block t ~last_key:encoded
+
+  let entry_count t = t.entry_count
+
+  let estimated_size t = t.written + Block.Builder.size_estimate t.block
+
+  let finish t =
+    (match t.last_ikey with
+    | Some ikey -> flush_block t ~last_key:(Ikey.encode ikey)
+    | None -> ());
+    (* Filter block *)
+    let filter_raw = Wip_bloom.Bloom.encode t.bloom in
+    let filter_sealed = Table_format.seal_block filter_raw in
+    let filter_handle =
+      { Table_format.offset = t.written; size = String.length filter_sealed }
+    in
+    Env.append t.writer ~category:t.category filter_sealed;
+    t.written <- t.written + String.length filter_sealed;
+    (* Index block *)
+    let index_builder = Block.Builder.create () in
+    List.iter
+      (fun (key, (handle : Table_format.block_handle)) ->
+        let buf = Buffer.create 16 in
+        Wip_util.Coding.put_varint buf handle.offset;
+        Wip_util.Coding.put_varint buf handle.size;
+        Block.Builder.add index_builder ~key ~value:(Buffer.contents buf))
+      (List.rev t.index_entries);
+    let index_raw = Block.Builder.finish index_builder in
+    let index_sealed = Table_format.seal_block index_raw in
+    let index_handle =
+      { Table_format.offset = t.written; size = String.length index_sealed }
+    in
+    Env.append t.writer ~category:t.category index_sealed;
+    t.written <- t.written + String.length index_sealed;
+    (* Footer *)
+    let footer =
+      {
+        Table_format.index = index_handle;
+        filter = filter_handle;
+        entry_count = t.entry_count;
+        smallest = (match t.smallest with Some s -> s | None -> "");
+        largest = t.largest;
+      }
+    in
+    let footer_bytes = Table_format.encode_footer footer in
+    Env.append t.writer ~category:t.category footer_bytes;
+    t.written <- t.written + String.length footer_bytes;
+    Env.sync t.writer;
+    Env.close_writer t.writer;
+    {
+      name = t.name;
+      size = t.written;
+      entry_count = t.entry_count;
+      smallest = footer.Table_format.smallest;
+      largest = footer.Table_format.largest;
+    }
+
+  let abandon t =
+    Env.close_writer t.writer;
+    Env.delete t.env t.name
+end
+
+module Reader = struct
+  type t = {
+    env : Env.t;
+    reader : Env.reader;
+    meta : meta;
+    index : (string * Table_format.block_handle) array;
+    (* index.(i) = (last encoded ikey of block i, handle) *)
+    filter : string;
+    cache : Wip_storage.Block_cache.t option;
+  }
+
+  let open_ ?cache env ~name =
+    let reader = Env.open_file env name in
+    let size = Env.file_size reader in
+    (* Discover the footer: last 4 bytes give the total footer length. *)
+    let tail =
+      Env.read reader ~category:Io_stats.Manifest ~pos:(size - 4) ~len:4
+    in
+    let footer_len = Wip_util.Coding.get_fixed32 tail 0 in
+    let footer_bytes =
+      Env.read reader ~category:Io_stats.Manifest ~pos:(size - footer_len)
+        ~len:footer_len
+    in
+    let footer = Table_format.decode_footer footer_bytes in
+    let read_handle (h : Table_format.block_handle) =
+      Table_format.unseal_block
+        (Env.read reader ~category:Io_stats.Manifest ~pos:h.offset ~len:h.size)
+    in
+    let index_raw = read_handle footer.Table_format.index in
+    let filter = read_handle footer.Table_format.filter in
+    let index =
+      Block.decode_all index_raw
+      |> List.map (fun (key, value) ->
+             let offset, off = Wip_util.Coding.get_varint value 0 in
+             let bsize, _ = Wip_util.Coding.get_varint value off in
+             (key, { Table_format.offset; size = bsize }))
+      |> Array.of_list
+    in
+    {
+      env;
+      reader;
+      meta =
+        {
+          name;
+          size;
+          entry_count = footer.Table_format.entry_count;
+          smallest = footer.Table_format.smallest;
+          largest = footer.Table_format.largest;
+        };
+      index;
+      filter;
+      cache;
+    }
+
+  let meta t = t.meta
+
+  let may_contain t user_key =
+    Wip_bloom.Bloom.mem_encoded t.filter user_key
+
+  let read_block t ~category (handle : Table_format.block_handle) =
+    let fetch () =
+      Table_format.unseal_block
+        (Env.read t.reader ~category ~pos:handle.offset ~len:handle.size)
+    in
+    match t.cache with
+    | None -> fetch ()
+    | Some cache -> (
+      match
+        Wip_storage.Block_cache.find cache ~file:t.meta.name ~offset:handle.offset
+      with
+      | Some raw -> raw
+      | None ->
+        let raw = fetch () in
+        Wip_storage.Block_cache.add cache ~file:t.meta.name ~offset:handle.offset raw;
+        raw)
+
+  (* First index slot whose last-key is >= target (encoded ikey order via
+     decode + Ikey.compare). *)
+  let index_slot t target_ikey =
+    let cmp_slot i =
+      let last_key, _ = t.index.(i) in
+      Ikey.compare (Ikey.decode last_key) target_ikey
+    in
+    let n = Array.length t.index in
+    if n = 0 then None
+    else begin
+      (* binary search: smallest i with cmp_slot i >= 0 *)
+      let rec bs lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if cmp_slot mid < 0 then bs (mid + 1) hi else bs lo mid
+      in
+      let i = bs 0 n in
+      if i >= n then None else Some i
+    end
+
+  let get t ~category user_key ~snapshot =
+    if not (may_contain t user_key) then None
+    else begin
+      let target = Ikey.make user_key ~seq:snapshot in
+      match index_slot t target with
+      | None -> None
+      | Some slot ->
+        let _, handle = t.index.(slot) in
+        let raw = read_block t ~category handle in
+        let compare encoded = Ikey.compare (Ikey.decode encoded) target in
+        let rec first_visible entry =
+          match entry with
+          | None -> None
+          | Some (encoded, value) ->
+            let ik = Ikey.decode encoded in
+            if not (String.equal ik.Ikey.user_key user_key) then None
+            else if Int64.compare ik.Ikey.seq snapshot <= 0 then
+              Some (ik.Ikey.kind, value, ik.Ikey.seq)
+            else
+              (* Newer than the snapshot: advance linearly. *)
+              advance_from encoded raw
+        and advance_from encoded raw =
+          let entries = Block.decode_all raw in
+          let rec skip = function
+            | [] -> None
+            | (k, _) :: rest when String.compare k encoded <= 0 -> skip rest
+            | (k, v) :: _ -> first_visible (Some (k, v))
+          in
+          skip entries
+        in
+        first_visible (Block.seek raw ~compare)
+    end
+
+  let iter_from t ~category ?(lo = "") () =
+    let target = Ikey.make lo ~seq:Ikey.max_seq in
+    let n = Array.length t.index in
+    let start_slot =
+      match index_slot t target with Some s -> s | None -> n
+    in
+    (* Lazily walk blocks from start_slot, filtering entries < target. *)
+    let rec block_seq slot () =
+      if slot >= n then Seq.Nil
+      else begin
+        let _, handle = t.index.(slot) in
+        let raw = read_block t ~category handle in
+        let entries =
+          Block.decode_all raw
+          |> List.filter_map (fun (encoded, value) ->
+                 let ik = Ikey.decode encoded in
+                 if Ikey.compare ik target >= 0 then Some (ik, value) else None)
+        in
+        let rec items = function
+          | [] -> block_seq (slot + 1)
+          | (ik, v) :: rest -> fun () -> Seq.Cons ((ik, v), items rest)
+        in
+        items entries ()
+      end
+    in
+    block_seq start_slot
+
+  let close t = Env.close_reader t.reader
+end
+
+let overlaps (m : meta) ~lo ~hi =
+  m.entry_count > 0
+  && String.compare m.smallest hi <= 0
+  && String.compare m.largest lo >= 0

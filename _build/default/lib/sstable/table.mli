@@ -1,0 +1,82 @@
+(** Sorted tables (SSTables / LevelTables): builder and reader.
+
+    A table stores internal-key/value entries in ascending
+    {!Wip_util.Ikey.compare} order, carved into prefix-compressed blocks with
+    an index block, a bloom filter over user keys, and a CRC-protected
+    footer. Tables are immutable once finished. *)
+
+type meta = {
+  name : string;  (** file name within the {!Wip_storage.Env.t} *)
+  size : int;  (** file size in bytes *)
+  entry_count : int;
+  smallest : string;  (** smallest user key; "" iff the table is empty *)
+  largest : string;
+}
+
+module Builder : sig
+  type t
+
+  val create :
+    Wip_storage.Env.t ->
+    name:string ->
+    category:Wip_storage.Io_stats.category ->
+    ?block_size:int ->
+    ?bits_per_key:int ->
+    ?expected_keys:int ->
+    unit ->
+    t
+  (** [block_size] defaults to 4096 bytes, [bits_per_key] to 10. *)
+
+  val add : t -> Wip_util.Ikey.t -> string -> unit
+  (** Keys must arrive in strictly ascending internal-key order. *)
+
+  val entry_count : t -> int
+
+  val estimated_size : t -> int
+
+  val finish : t -> meta
+  (** Flushes remaining data, writes filter, index and footer, syncs and
+      closes the file. *)
+
+  val abandon : t -> unit
+  (** Close and delete the partially written file. *)
+end
+
+module Reader : sig
+  type t
+
+  val open_ : ?cache:Wip_storage.Block_cache.t -> Wip_storage.Env.t -> name:string -> t
+  (** Reads footer, index and filter eagerly (accounted as
+      [Manifest] traffic); data blocks are read on demand, consulting
+      [cache] first when one is supplied (only device reads are charged to
+      the {!Wip_storage.Io_stats.category}). *)
+
+  val meta : t -> meta
+
+  val get :
+    t ->
+    category:Wip_storage.Io_stats.category ->
+    string ->
+    snapshot:int64 ->
+    (Wip_util.Ikey.kind * string * int64) option
+  (** Newest version of the user key with sequence [<= snapshot]. The bloom
+      filter short-circuits definite misses without any data-block I/O. *)
+
+  val may_contain : t -> string -> bool
+  (** Bloom-filter check only. *)
+
+  val iter_from :
+    t ->
+    category:Wip_storage.Io_stats.category ->
+    ?lo:string ->
+    unit ->
+    (Wip_util.Ikey.t * string) Seq.t
+  (** Entries in internal-key order, starting at the first entry whose user
+      key is [>= lo] (or the table start). Blocks are fetched lazily. *)
+
+  val close : t -> unit
+end
+
+val overlaps : meta -> lo:string -> hi:string -> bool
+(** Whether the table's [smallest, largest] user-key range intersects the
+    inclusive range [lo, hi]. Empty tables overlap nothing. *)

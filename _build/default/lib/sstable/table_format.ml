@@ -1,0 +1,78 @@
+module Coding = Wip_util.Coding
+module Crc32c = Wip_util.Crc32c
+
+let magic = 0x7769706462_4C54L (* "wipdb" ^ "LT" *)
+
+let restart_interval = 16
+
+type block_handle = { offset : int; size : int }
+
+type footer = {
+  index : block_handle;
+  filter : block_handle;
+  entry_count : int;
+  smallest : string;
+  largest : string;
+}
+
+(* Footer layout:
+   varint index.offset | varint index.size
+   varint filter.offset | varint filter.size
+   varint entry_count
+   length-prefixed smallest | length-prefixed largest
+   fixed64 magic
+   fixed32 total footer length (including this field and the magic) *)
+
+let footer_fixed_prefix_length = 12 (* magic (8) + length (4) *)
+
+let encode_footer f =
+  let buf = Buffer.create 64 in
+  Coding.put_varint buf f.index.offset;
+  Coding.put_varint buf f.index.size;
+  Coding.put_varint buf f.filter.offset;
+  Coding.put_varint buf f.filter.size;
+  Coding.put_varint buf f.entry_count;
+  Coding.put_length_prefixed buf f.smallest;
+  Coding.put_length_prefixed buf f.largest;
+  Coding.put_fixed64 buf magic;
+  let total = Buffer.length buf + 4 in
+  Coding.put_fixed32 buf total;
+  Buffer.contents buf
+
+let decode_footer s =
+  let n = String.length s in
+  if n < footer_fixed_prefix_length then
+    invalid_arg "Table_format.decode_footer: too short";
+  let stored_magic = Coding.get_fixed64 s (n - 12) in
+  if not (Int64.equal stored_magic magic) then
+    invalid_arg "Table_format.decode_footer: bad magic";
+  let index_offset, off = Coding.get_varint s 0 in
+  let index_size, off = Coding.get_varint s off in
+  let filter_offset, off = Coding.get_varint s off in
+  let filter_size, off = Coding.get_varint s off in
+  let entry_count, off = Coding.get_varint s off in
+  let smallest, off = Coding.get_length_prefixed s off in
+  let largest, _off = Coding.get_length_prefixed s off in
+  {
+    index = { offset = index_offset; size = index_size };
+    filter = { offset = filter_offset; size = filter_size };
+    entry_count;
+    smallest;
+    largest;
+  }
+
+let seal_block raw =
+  let crc = Crc32c.masked (Crc32c.string raw) in
+  let buf = Buffer.create (String.length raw + 4) in
+  Buffer.add_string buf raw;
+  Coding.put_fixed32 buf crc;
+  Buffer.contents buf
+
+let unseal_block sealed =
+  let n = String.length sealed in
+  if n < 4 then invalid_arg "Table_format.unseal_block: too short";
+  let stored = Coding.get_fixed32 sealed (n - 4) in
+  let raw = String.sub sealed 0 (n - 4) in
+  if Crc32c.masked (Crc32c.string raw) <> stored then
+    invalid_arg "Table_format.unseal_block: checksum mismatch";
+  raw

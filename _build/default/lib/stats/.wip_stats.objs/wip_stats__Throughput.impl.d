@@ -1,0 +1,1 @@
+lib/stats/throughput.ml: Float List Unix

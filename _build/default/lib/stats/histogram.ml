@@ -1,0 +1,94 @@
+let sub_buckets = 16
+
+let bucket_count = 64 * sub_buckets
+
+type t = {
+  buckets : int array;
+  mutable total : int;
+  mutable sum : float;
+  mutable minimum : float;
+  mutable maximum : float;
+}
+
+let create () =
+  {
+    buckets = Array.make bucket_count 0;
+    total = 0;
+    sum = 0.0;
+    minimum = infinity;
+    maximum = neg_infinity;
+  }
+
+(* Bucket index: exponent of 2 selects the decade, the next [sub_buckets]
+   fractions subdivide it. Values < 1 land in bucket 0. *)
+let bucket_of v =
+  if v < 1.0 then 0
+  else begin
+    let e = int_of_float (Float.log2 v) in
+    let base = 2.0 ** float_of_int e in
+    let frac = (v -. base) /. base in
+    let idx = (e * sub_buckets) + int_of_float (frac *. float_of_int sub_buckets) in
+    min (bucket_count - 1) (max 0 idx)
+  end
+
+let lower_bound_of_bucket i =
+  let e = i / sub_buckets and f = i mod sub_buckets in
+  let base = 2.0 ** float_of_int e in
+  base +. (base *. float_of_int f /. float_of_int sub_buckets)
+
+let upper_bound_of_bucket i =
+  let e = i / sub_buckets and f = i mod sub_buckets in
+  let base = 2.0 ** float_of_int e in
+  base +. (base *. float_of_int (f + 1) /. float_of_int sub_buckets)
+
+let add t v =
+  let v = max v 0.0 in
+  t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. v;
+  if v < t.minimum then t.minimum <- v;
+  if v > t.maximum then t.maximum <- v
+
+let count t = t.total
+
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+
+let percentile t p =
+  if t.total = 0 then 0.0
+  else begin
+    let threshold = float_of_int t.total *. p /. 100.0 in
+    let rec walk i seen =
+      if i >= bucket_count then t.maximum
+      else
+        let seen' = seen + t.buckets.(i) in
+        if float_of_int seen' >= threshold && t.buckets.(i) > 0 then begin
+          (* Linear interpolation within the bucket. *)
+          let lo = lower_bound_of_bucket i and hi = upper_bound_of_bucket i in
+          let within =
+            (threshold -. float_of_int seen) /. float_of_int t.buckets.(i)
+          in
+          let v = lo +. ((hi -. lo) *. within) in
+          Float.min v t.maximum
+        end
+        else walk (i + 1) seen'
+    in
+    walk 0 0
+  end
+
+let max_value t = if t.total = 0 then 0.0 else t.maximum
+
+let min_value t = if t.total = 0 then 0.0 else t.minimum
+
+let merge dst src =
+  Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) src.buckets;
+  dst.total <- dst.total + src.total;
+  dst.sum <- dst.sum +. src.sum;
+  if src.minimum < dst.minimum then dst.minimum <- src.minimum;
+  if src.maximum > dst.maximum then dst.maximum <- src.maximum
+
+let reset t =
+  Array.fill t.buckets 0 bucket_count 0;
+  t.total <- 0;
+  t.sum <- 0.0;
+  t.minimum <- infinity;
+  t.maximum <- neg_infinity

@@ -1,0 +1,30 @@
+(** Log-bucketed histogram for latency percentiles.
+
+    Values (any non-negative measurement; nanoseconds in the latency
+    experiments, simulated I/O counts elsewhere) are bucketed
+    logarithmically: 64 decades of 16 sub-buckets give <7% relative error
+    per bucket, which is ample for reporting p50/p90/p99/p999 as in the
+    paper's Tables I and II. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t 99.0] — the bucket-interpolated value below which the
+    given percentage of samples falls. 0 when empty. *)
+
+val max_value : t -> float
+
+val min_value : t -> float
+
+val merge : t -> t -> unit
+(** [merge dst src] folds [src]'s samples into [dst]. *)
+
+val reset : t -> unit

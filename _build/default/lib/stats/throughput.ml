@@ -1,0 +1,31 @@
+type t = {
+  window : int;
+  start : float;
+  mutable ops : int;
+  mutable window_ops : int;
+  mutable window_start : float;
+  mutable bins : (int * float) list; (* reverse *)
+}
+
+let now () = Unix.gettimeofday ()
+
+let create ~window =
+  let t0 = now () in
+  { window; start = t0; ops = 0; window_ops = 0; window_start = t0; bins = [] }
+
+let tick t ?(n = 1) () =
+  t.ops <- t.ops + n;
+  t.window_ops <- t.window_ops + n;
+  if t.window_ops >= t.window then begin
+    let t1 = now () in
+    let dt = Float.max 1e-9 (t1 -. t.window_start) in
+    t.bins <- (t.ops, float_of_int t.window_ops /. dt) :: t.bins;
+    t.window_ops <- 0;
+    t.window_start <- t1
+  end
+
+let series t = List.rev t.bins
+
+let total_ops t = t.ops
+
+let elapsed_seconds t = now () -. t.start

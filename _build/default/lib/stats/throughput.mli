@@ -1,0 +1,22 @@
+(** Throughput time series.
+
+    Records operation completions and bins them into fixed-size windows (by
+    operation count or by wall-clock time), producing the throughput-over-
+    time curves of Figures 6(a), 7 and 8. *)
+
+type t
+
+val create : window:int -> t
+(** [window] = operations per bin. *)
+
+val tick : t -> ?n:int -> unit -> unit
+(** Record [n] (default 1) completed operations at the current monotonic
+    time. *)
+
+val series : t -> (int * float) list
+(** [(ops_so_far, ops_per_second_within_window)] for each completed window,
+    in order. *)
+
+val total_ops : t -> int
+
+val elapsed_seconds : t -> float

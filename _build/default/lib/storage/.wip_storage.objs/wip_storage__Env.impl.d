@@ -1,0 +1,1 @@
+lib/storage/env.ml: Array Buffer Filename Hashtbl Io_stats List Printf String Sys Unix

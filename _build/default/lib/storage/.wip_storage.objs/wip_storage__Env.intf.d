@@ -1,0 +1,1 @@
+lib/storage/env.mli: Io_stats

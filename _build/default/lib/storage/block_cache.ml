@@ -1,0 +1,101 @@
+(* Classic LRU: a hash table from key to a doubly-linked node; the list head
+   is most recent, the tail gets evicted. *)
+
+type key = { file : string; offset : int }
+
+type node = {
+  key : key;
+  value : string;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  table : (key, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable used : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity_bytes =
+  {
+    capacity = max 0 capacity_bytes;
+    table = Hashtbl.create 256;
+    head = None;
+    tail = None;
+    used = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let remove t node =
+  unlink t node;
+  Hashtbl.remove t.table node.key;
+  t.used <- t.used - String.length node.value
+
+let find t ~file ~offset =
+  match Hashtbl.find_opt t.table { file; offset } with
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    Some node.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let rec evict_until_fits t =
+  if t.used > t.capacity then
+    match t.tail with
+    | Some node ->
+      remove t node;
+      evict_until_fits t
+    | None -> ()
+
+let add t ~file ~offset value =
+  if String.length value <= t.capacity then begin
+    let key = { file; offset } in
+    (match Hashtbl.find_opt t.table key with
+    | Some old -> remove t old
+    | None -> ());
+    let node = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.table key node;
+    push_front t node;
+    t.used <- t.used + String.length value;
+    evict_until_fits t
+  end
+
+let evict_file t file =
+  let victims =
+    Hashtbl.fold
+      (fun key node acc -> if String.equal key.file file then node :: acc else acc)
+      t.table []
+  in
+  List.iter (remove t) victims
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let used_bytes t = t.used
+
+let entry_count t = Hashtbl.length t.table

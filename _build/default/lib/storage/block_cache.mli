@@ -1,0 +1,31 @@
+(** LRU block cache.
+
+    Caches raw (already CRC-verified) data blocks keyed by
+    [(file name, offset)], bounded by a byte capacity. Table readers consult
+    it before issuing device reads, so repeated point reads and scans over
+    hot ranges skip the device entirely — the effect the paper relies on
+    when it notes that freshly written, immediately read items are served
+    from a cache (§III-G). *)
+
+type t
+
+val create : capacity_bytes:int -> t
+
+val find : t -> file:string -> offset:int -> string option
+(** Marks the entry most-recently-used on a hit. *)
+
+val add : t -> file:string -> offset:int -> string -> unit
+(** Inserts (replacing any previous entry for the key) and evicts
+    least-recently-used entries until the total payload fits the capacity.
+    Values larger than the whole capacity are not cached. *)
+
+val evict_file : t -> string -> unit
+(** Drop every block of a deleted file. *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val used_bytes : t -> int
+
+val entry_count : t -> int

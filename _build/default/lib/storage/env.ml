@@ -1,0 +1,137 @@
+type backend =
+  | Mem of (string, Buffer.t) Hashtbl.t
+  | Posix of string (* root directory *)
+
+type t = { backend : backend; stats : Io_stats.t }
+
+type writer = {
+  w_env : t;
+  w_name : string;
+  mutable w_off : int;
+  w_impl : w_impl;
+}
+
+and w_impl = W_mem of Buffer.t | W_posix of out_channel
+
+type reader = {
+  r_env : t;
+  r_size : int;
+  r_impl : r_impl;
+}
+
+and r_impl = R_mem of string | R_posix of in_channel
+
+let in_memory () = { backend = Mem (Hashtbl.create 64); stats = Io_stats.create () }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let posix ~root =
+  mkdir_p root;
+  { backend = Posix root; stats = Io_stats.create () }
+
+let stats t = t.stats
+
+let posix_path root name =
+  (* Flatten any separators so the namespace stays flat on disk. *)
+  let flat = String.map (fun c -> if c = '/' then '_' else c) name in
+  Filename.concat root flat
+
+let create_file t name =
+  match t.backend with
+  | Mem files ->
+    let buf = Buffer.create 4096 in
+    Hashtbl.replace files name buf;
+    { w_env = t; w_name = name; w_off = 0; w_impl = W_mem buf }
+  | Posix root ->
+    let oc = open_out_bin (posix_path root name) in
+    { w_env = t; w_name = name; w_off = 0; w_impl = W_posix oc }
+
+let append w ~category s =
+  Io_stats.record_write w.w_env.stats category (String.length s);
+  w.w_off <- w.w_off + String.length s;
+  match w.w_impl with
+  | W_mem buf -> Buffer.add_string buf s
+  | W_posix oc -> output_string oc s
+
+let writer_offset w = w.w_off
+
+let sync w =
+  match w.w_impl with W_mem _ -> () | W_posix oc -> flush oc
+
+let close_writer w =
+  match w.w_impl with W_mem _ -> () | W_posix oc -> close_out oc
+
+let open_file t name =
+  match t.backend with
+  | Mem files ->
+    let buf = try Hashtbl.find files name with Not_found -> raise Not_found in
+    let contents = Buffer.contents buf in
+    { r_env = t; r_size = String.length contents; r_impl = R_mem contents }
+  | Posix root ->
+    let path = posix_path root name in
+    if not (Sys.file_exists path) then raise Not_found;
+    let ic = open_in_bin path in
+    { r_env = t; r_size = in_channel_length ic; r_impl = R_posix ic }
+
+let read r ~category ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > r.r_size then
+    invalid_arg
+      (Printf.sprintf "Env.read: range [%d, %d+%d) out of bounds (size %d)"
+         pos pos len r.r_size);
+  Io_stats.record_read r.r_env.stats category len;
+  match r.r_impl with
+  | R_mem s -> String.sub s pos len
+  | R_posix ic ->
+    seek_in ic pos;
+    really_input_string ic len
+
+let read_all r ~category = read r ~category ~pos:0 ~len:r.r_size
+
+let file_size r = r.r_size
+
+let close_reader r =
+  match r.r_impl with R_mem _ -> () | R_posix ic -> close_in ic
+
+let exists t name =
+  match t.backend with
+  | Mem files -> Hashtbl.mem files name
+  | Posix root -> Sys.file_exists (posix_path root name)
+
+let delete t name =
+  match t.backend with
+  | Mem files -> Hashtbl.remove files name
+  | Posix root ->
+    let path = posix_path root name in
+    if Sys.file_exists path then Sys.remove path
+
+let rename t ~src ~dst =
+  match t.backend with
+  | Mem files ->
+    (match Hashtbl.find_opt files src with
+     | None -> raise Not_found
+     | Some buf ->
+       Hashtbl.remove files src;
+       Hashtbl.replace files dst buf)
+  | Posix root -> Sys.rename (posix_path root src) (posix_path root dst)
+
+let list_files t =
+  match t.backend with
+  | Mem files ->
+    Hashtbl.fold (fun name _ acc -> name :: acc) files []
+    |> List.sort String.compare
+  | Posix root ->
+    Sys.readdir root |> Array.to_list |> List.sort String.compare
+
+let total_live_bytes t =
+  match t.backend with
+  | Mem files -> Hashtbl.fold (fun _ buf acc -> acc + Buffer.length buf) files 0
+  | Posix root ->
+    Sys.readdir root |> Array.to_list
+    |> List.fold_left
+         (fun acc name ->
+           acc + (Unix.stat (Filename.concat root name)).Unix.st_size)
+         0

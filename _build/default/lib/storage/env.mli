@@ -1,0 +1,72 @@
+(** Storage environment.
+
+    [Env] abstracts the device under the store: file creation, sequential
+    append, random reads, deletion, directory listing — with every byte of
+    traffic attributed to an {!Io_stats.category}. Two backends:
+
+    - {!in_memory}: files are byte buffers. Deterministic, fast, and the
+      default for tests and benchmarks. Substitutes for the paper's PCIe SSD
+      per DESIGN.md — the experiments measure bytes moved, which this backend
+      accounts exactly.
+    - {!posix}: real files under a root directory, for end-to-end runs.
+
+    Paths are flat strings ("000017.lvt", "wal/000002.log", ...). *)
+
+type t
+
+type writer
+(** Append-only file handle. *)
+
+type reader
+(** Random-access read handle over an immutable (closed) file. *)
+
+val in_memory : unit -> t
+
+val posix : root:string -> t
+(** Files live under [root]; the directory is created if missing. *)
+
+val stats : t -> Io_stats.t
+
+(** {1 Writing} *)
+
+val create_file : t -> string -> writer
+(** Truncates any existing file of that name. *)
+
+val append : writer -> category:Io_stats.category -> string -> unit
+
+val writer_offset : writer -> int
+(** Bytes written so far. *)
+
+val sync : writer -> unit
+(** Durability barrier. No-op in memory; fsync on POSIX. *)
+
+val close_writer : writer -> unit
+
+(** {1 Reading} *)
+
+val open_file : t -> string -> reader
+(** @raise Not_found if the file does not exist. *)
+
+val read : reader -> category:Io_stats.category -> pos:int -> len:int -> string
+(** @raise Invalid_argument when the range is out of bounds. *)
+
+val read_all : reader -> category:Io_stats.category -> string
+
+val file_size : reader -> int
+
+val close_reader : reader -> unit
+
+(** {1 Namespace} *)
+
+val exists : t -> string -> bool
+
+val delete : t -> string -> unit
+(** Idempotent. *)
+
+val rename : t -> src:string -> dst:string -> unit
+
+val list_files : t -> string list
+(** All live file names, sorted. *)
+
+val total_live_bytes : t -> int
+(** Sum of sizes of all live files — the store's device footprint. *)

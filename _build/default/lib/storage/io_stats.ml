@@ -1,0 +1,177 @@
+type category =
+  | User_write
+  | Wal
+  | Flush
+  | Compaction of int
+  | Compaction_read of int
+  | Split
+  | Read_path
+  | Manifest
+
+(* Fixed slots for the scalar categories; per-level compaction traffic lives
+   in growable arrays indexed by level. *)
+type t = {
+  mutable user : int;
+  mutable wal_w : int;
+  mutable wal_r : int;
+  mutable flush_w : int;
+  mutable flush_r : int;
+  mutable split_w : int;
+  mutable split_r : int;
+  mutable read_path_w : int;
+  mutable read_path_r : int;
+  mutable manifest_w : int;
+  mutable manifest_r : int;
+  mutable level_w : int array; (* writes into level i *)
+  mutable level_r : int array; (* reads from level i *)
+}
+
+let create () =
+  {
+    user = 0;
+    wal_w = 0;
+    wal_r = 0;
+    flush_w = 0;
+    flush_r = 0;
+    split_w = 0;
+    split_r = 0;
+    read_path_w = 0;
+    read_path_r = 0;
+    manifest_w = 0;
+    manifest_r = 0;
+    level_w = Array.make 8 0;
+    level_r = Array.make 8 0;
+  }
+
+let ensure_level arr level =
+  let arr' =
+    if level < Array.length arr then arr
+    else begin
+      let bigger = Array.make (max (level + 1) (2 * Array.length arr)) 0 in
+      Array.blit arr 0 bigger 0 (Array.length arr);
+      bigger
+    end
+  in
+  arr'
+
+let record_write t cat n =
+  match cat with
+  | User_write -> t.user <- t.user + n
+  | Wal -> t.wal_w <- t.wal_w + n
+  | Flush -> t.flush_w <- t.flush_w + n
+  | Compaction level ->
+    t.level_w <- ensure_level t.level_w level;
+    t.level_w.(level) <- t.level_w.(level) + n
+  | Compaction_read level ->
+    t.level_r <- ensure_level t.level_r level;
+    t.level_r.(level) <- t.level_r.(level) + n
+  | Split -> t.split_w <- t.split_w + n
+  | Read_path -> t.read_path_w <- t.read_path_w + n
+  | Manifest -> t.manifest_w <- t.manifest_w + n
+
+let record_read t cat n =
+  match cat with
+  | User_write -> t.user <- t.user + n
+  | Wal -> t.wal_r <- t.wal_r + n
+  | Flush -> t.flush_r <- t.flush_r + n
+  | Compaction level | Compaction_read level ->
+    t.level_r <- ensure_level t.level_r level;
+    t.level_r.(level) <- t.level_r.(level) + n
+  | Split -> t.split_r <- t.split_r + n
+  | Read_path -> t.read_path_r <- t.read_path_r + n
+  | Manifest -> t.manifest_r <- t.manifest_r + n
+
+let sum = Array.fold_left ( + ) 0
+
+let bytes_written t =
+  t.wal_w + t.flush_w + t.split_w + t.manifest_w + sum t.level_w
+
+let store_bytes_written t = t.flush_w + t.split_w + t.manifest_w + sum t.level_w
+
+let bytes_read t =
+  t.wal_r + t.flush_r + t.split_r + t.read_path_r + t.manifest_r
+  + sum t.level_r
+
+let user_bytes t = t.user
+
+let write_amplification t =
+  if t.user = 0 then 0.0
+  else float_of_int (store_bytes_written t) /. float_of_int t.user
+
+let written_by t = function
+  | User_write -> t.user
+  | Wal -> t.wal_w
+  | Flush -> t.flush_w
+  | Compaction level ->
+    if level < Array.length t.level_w then t.level_w.(level) else 0
+  | Compaction_read level ->
+    if level < Array.length t.level_r then t.level_r.(level) else 0
+  | Split -> t.split_w
+  | Read_path -> t.read_path_w
+  | Manifest -> t.manifest_w
+
+let read_by t = function
+  | User_write -> t.user
+  | Wal -> t.wal_r
+  | Flush -> t.flush_r
+  | Compaction level | Compaction_read level ->
+    if level < Array.length t.level_r then t.level_r.(level) else 0
+  | Split -> t.split_r
+  | Read_path -> t.read_path_r
+  | Manifest -> t.manifest_r
+
+let per_level arr =
+  let acc = ref [] in
+  for level = Array.length arr - 1 downto 0 do
+    if arr.(level) > 0 then acc := (level, arr.(level)) :: !acc
+  done;
+  !acc
+
+let per_level_write t = per_level t.level_w
+
+let per_level_read t = per_level t.level_r
+
+let reset t =
+  t.user <- 0;
+  t.wal_w <- 0;
+  t.wal_r <- 0;
+  t.flush_w <- 0;
+  t.flush_r <- 0;
+  t.split_w <- 0;
+  t.split_r <- 0;
+  t.read_path_w <- 0;
+  t.read_path_r <- 0;
+  t.manifest_w <- 0;
+  t.manifest_r <- 0;
+  Array.fill t.level_w 0 (Array.length t.level_w) 0;
+  Array.fill t.level_r 0 (Array.length t.level_r) 0
+
+let snapshot t =
+  {
+    t with
+    level_w = Array.copy t.level_w;
+    level_r = Array.copy t.level_r;
+  }
+
+let diff cur base =
+  let sub_arrays a b =
+    let n = max (Array.length a) (Array.length b) in
+    Array.init n (fun i ->
+        (if i < Array.length a then a.(i) else 0)
+        - if i < Array.length b then b.(i) else 0)
+  in
+  {
+    user = cur.user - base.user;
+    wal_w = cur.wal_w - base.wal_w;
+    wal_r = cur.wal_r - base.wal_r;
+    flush_w = cur.flush_w - base.flush_w;
+    flush_r = cur.flush_r - base.flush_r;
+    split_w = cur.split_w - base.split_w;
+    split_r = cur.split_r - base.split_r;
+    read_path_w = cur.read_path_w - base.read_path_w;
+    read_path_r = cur.read_path_r - base.read_path_r;
+    manifest_w = cur.manifest_w - base.manifest_w;
+    manifest_r = cur.manifest_r - base.manifest_r;
+    level_w = sub_arrays cur.level_w base.level_w;
+    level_r = sub_arrays cur.level_r base.level_r;
+  }

@@ -1,0 +1,58 @@
+(** Byte-accurate I/O accounting.
+
+    Every write and read issued through an {!Env.t} is attributed to a
+    category, so experiments can report write amplification and the per-level
+    I/O breakdown of Figure 6(c) exactly. *)
+
+type category =
+  | User_write  (** bytes of user payload accepted by the store front end *)
+  | Wal  (** write-ahead-log appends *)
+  | Flush  (** memtable → level-0 table writes *)
+  | Compaction of int  (** compaction writing INTO the given level *)
+  | Compaction_read of int  (** compaction reading FROM the given level *)
+  | Split  (** bucket/guard split rewrites (WipDB, PebblesDB) *)
+  | Read_path  (** block reads performed to serve user point/range reads *)
+  | Manifest  (** metadata persistence *)
+
+type t
+
+val create : unit -> t
+
+val record_write : t -> category -> int -> unit
+
+val record_read : t -> category -> int -> unit
+
+val bytes_written : t -> int
+(** Total device bytes written, across all categories except [User_write]
+    (which counts logical user payload, not device traffic). *)
+
+val store_bytes_written : t -> int
+(** Device bytes written to the store proper: flush + compaction + split +
+    manifest, excluding the WAL. The paper's write-amplification numbers use
+    this denominator-free form — its experiments place the log on a separate
+    SSD (§IV-A). *)
+
+val bytes_read : t -> int
+
+val user_bytes : t -> int
+
+val write_amplification : t -> float
+(** [store_bytes_written / user_bytes]; 0 when no user bytes were written. *)
+
+val written_by : t -> category -> int
+
+val read_by : t -> category -> int
+
+val per_level_write : t -> (int * int) list
+(** [(level, bytes)] written into each level by compaction, ascending level;
+    includes flush as level 0 writes. *)
+
+val per_level_read : t -> (int * int) list
+
+val reset : t -> unit
+
+val snapshot : t -> t
+(** An independent copy, for delta measurements. *)
+
+val diff : t -> t -> t
+(** [diff current baseline] — counters of [current] minus [baseline]. *)

@@ -1,0 +1,1 @@
+lib/util/coding.ml: Buffer Char Int64 String

@@ -1,0 +1,1 @@
+lib/util/ikey.ml: Buffer Char Int64 Printf Stdlib String

@@ -1,0 +1,33 @@
+let polynomial = 0x82F63B78 (* reflected CRC-32C polynomial *)
+
+let table =
+  lazy
+    (let t = Array.make 256 0 in
+     for n = 0 to 255 do
+       let c = ref n in
+       for _ = 0 to 7 do
+         if !c land 1 = 1 then c := (!c lsr 1) lxor polynomial
+         else c := !c lsr 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let substring ?(init = 0) s ~pos ~len =
+  let t = Lazy.force table in
+  let crc = ref (init lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    crc := (!crc lsr 8) lxor t.((!crc lxor Char.code s.[i]) land 0xff)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let string ?init s = substring ?init s ~pos:0 ~len:(String.length s)
+
+let mask_delta = 0xa282ead8
+
+let masked crc =
+  (((crc lsr 15) lor (crc lsl 17)) + mask_delta) land 0xFFFFFFFF
+
+let unmask masked_crc =
+  let rot = (masked_crc - mask_delta) land 0xFFFFFFFF in
+  ((rot lsr 17) lor (rot lsl 15)) land 0xFFFFFFFF

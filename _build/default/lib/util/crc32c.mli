@@ -1,0 +1,15 @@
+(** CRC-32C (Castagnoli) checksums, as used by the SSTable and WAL formats
+    to detect corruption. Pure-OCaml table-driven implementation. *)
+
+val string : ?init:int -> string -> int
+(** [string s] is the CRC-32C of [s] as an unsigned 32-bit value in an
+    OCaml [int]. [init] allows incremental computation: pass the previous
+    checksum to extend it. *)
+
+val substring : ?init:int -> string -> pos:int -> len:int -> int
+
+val masked : int -> int
+(** LevelDB-style masking so that a CRC stored alongside data that itself
+    embeds CRCs does not collide with the data CRC. *)
+
+val unmask : int -> int

@@ -1,0 +1,39 @@
+let prime1 = 0x9E3779B185EBCA87L
+let prime2 = 0xC2B2AE3D27D4EB4FL
+let prime3 = 0x165667B19E3779F9L
+
+let rotl x r = Int64.(logor (shift_left x r) (shift_right_logical x (64 - r)))
+
+let avalanche h =
+  let h = Int64.(mul (logxor h (shift_right_logical h 33)) prime2) in
+  let h = Int64.(mul (logxor h (shift_right_logical h 29)) prime3) in
+  Int64.(logxor h (shift_right_logical h 32))
+
+let hash64 ?(seed = 0L) s =
+  let len = String.length s in
+  let h = ref (Int64.add seed (Int64.of_int len)) in
+  let i = ref 0 in
+  (* 8-byte lanes *)
+  while !i + 8 <= len do
+    let lane = ref 0L in
+    for j = 7 downto 0 do
+      lane := Int64.(logor (shift_left !lane 8) (of_int (Char.code s.[!i + j])))
+    done;
+    h := Int64.mul (rotl (Int64.add !h (Int64.mul !lane prime2)) 31) prime1;
+    i := !i + 8
+  done;
+  (* tail bytes *)
+  while !i < len do
+    let b = Int64.of_int (Char.code s.[!i]) in
+    h := Int64.mul (rotl (Int64.logxor !h (Int64.mul b prime1)) 27) prime2;
+    incr i
+  done;
+  avalanche !h
+
+let hash32 ?(seed = 0) s =
+  let h = hash64 ~seed:(Int64.of_int seed) s in
+  Int64.(to_int (logand (logxor h (shift_right_logical h 32)) 0xFFFFFFFFL))
+
+let tag16 s =
+  let t = hash32 ~seed:0x7a6 s land 0xFFFF in
+  if t = 0 then 1 else t

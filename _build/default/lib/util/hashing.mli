@@ -1,0 +1,14 @@
+(** Non-cryptographic hashing for bloom filters and the hash memtable.
+
+    [hash64] is an xxhash/murmur-style 64-bit avalanche hash; [hash32] folds
+    it to 32 bits. Both are seedable so independent hash functions can be
+    derived for double hashing. *)
+
+val hash64 : ?seed:int64 -> string -> int64
+
+val hash32 : ?seed:int -> string -> int
+(** Unsigned 32-bit result in an OCaml [int]. *)
+
+val tag16 : string -> int
+(** Two-byte tag used by the hash memtable's slot directory; never 0 so that
+    0 can mean "empty slot". *)

@@ -1,0 +1,53 @@
+type kind = Value | Deletion
+
+type t = { user_key : string; seq : int64; kind : kind }
+
+let make ?(kind = Value) user_key ~seq = { user_key; seq; kind }
+
+let kind_tag = function Value -> 1 | Deletion -> 0
+
+let compare_user = String.compare
+
+let compare a b =
+  let c = String.compare a.user_key b.user_key in
+  if c <> 0 then c
+  else
+    let c = Int64.compare b.seq a.seq in
+    if c <> 0 then c else Stdlib.compare (kind_tag b.kind) (kind_tag a.kind)
+
+let max_seq = 0x00FFFFFFFFFFFFFFL
+
+let encode t =
+  let buf = Buffer.create (String.length t.user_key + 8) in
+  Buffer.add_string buf t.user_key;
+  let trailer =
+    Int64.(logor (shift_left t.seq 8) (of_int (kind_tag t.kind)))
+  in
+  (* Big-endian trailer with the sequence bits inverted, so bytewise order of
+     the encoding matches [compare] (sequence is descending). *)
+  let inv = Int64.lognot trailer in
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      Int64.(Char.unsafe_chr (to_int (logand (shift_right_logical inv (8 * i)) 0xffL)))
+  done;
+  Buffer.contents buf
+
+let decode s =
+  let n = String.length s in
+  if n < 8 then invalid_arg "Ikey.decode: too short";
+  let user_key = String.sub s 0 (n - 8) in
+  let inv = ref 0L in
+  for i = 0 to 7 do
+    inv := Int64.(logor (shift_left !inv 8) (of_int (Char.code s.[n - 8 + i])))
+  done;
+  let trailer = Int64.lognot !inv in
+  let seq = Int64.shift_right_logical trailer 8 in
+  let kind =
+    match Int64.(to_int (logand trailer 0xffL)) with
+    | 1 -> Value
+    | 0 -> Deletion
+    | k -> invalid_arg (Printf.sprintf "Ikey.decode: bad kind tag %d" k)
+  in
+  { user_key; seq; kind }
+
+let kind_to_string = function Value -> "value" | Deletion -> "deletion"

@@ -1,0 +1,33 @@
+(** Internal keys.
+
+    Every record written to the store carries, in addition to its user key,
+    a globally monotonically increasing sequence number and a kind (value or
+    deletion tombstone). Internal keys order by (user key ascending, sequence
+    number descending) so that the newest version of a user key is
+    encountered first during merges and lookups. *)
+
+type kind = Value | Deletion
+
+type t = { user_key : string; seq : int64; kind : kind }
+
+val make : ?kind:kind -> string -> seq:int64 -> t
+
+val compare : t -> t -> int
+(** User key ascending, then sequence descending, then kind (Value before
+    Deletion at equal sequence, which cannot happen in a well-formed store). *)
+
+val compare_user : string -> string -> int
+(** Plain byte-wise user-key comparison (the store's global comparator). *)
+
+val encode : t -> string
+(** [user_key ^ 8-byte big-endian (seq << 8 | kind_tag)] — big-endian so the
+    encoded form preserves [compare] ordering bytewise on the trailer when
+    user keys are equal. *)
+
+val decode : string -> t
+(** @raise Invalid_argument if shorter than the 8-byte trailer. *)
+
+val kind_to_string : kind -> string
+
+val max_seq : int64
+(** Largest representable sequence number (56 bits). *)

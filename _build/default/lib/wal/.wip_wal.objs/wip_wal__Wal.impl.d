@@ -1,0 +1,1 @@
+lib/wal/wal.ml: Buffer Char Filename Int64 List Printf String Wip_storage Wip_util

@@ -1,0 +1,1 @@
+lib/wal/wal.mli: Wip_storage Wip_util

@@ -1,0 +1,1 @@
+lib/workload/distribution.ml: Int64 Wip_util

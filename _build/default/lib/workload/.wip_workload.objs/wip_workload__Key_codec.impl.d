@@ -1,0 +1,1 @@
+lib/workload/key_codec.ml: Int64 Printf String

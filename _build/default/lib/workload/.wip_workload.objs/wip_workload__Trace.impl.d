@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Buffer Printf String Wip_kv Wip_storage Wip_util

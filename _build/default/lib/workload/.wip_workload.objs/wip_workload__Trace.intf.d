@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Wip_kv Wip_storage

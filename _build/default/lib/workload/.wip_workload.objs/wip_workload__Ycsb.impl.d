@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Bytes Distribution Int64 Key_codec Wip_util

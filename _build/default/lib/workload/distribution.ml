@@ -1,0 +1,144 @@
+module Rng = Wip_util.Rng
+
+type shape =
+  | Uniform
+  | Zipfian of { theta : float; scrambled : bool }
+  | Exponential of { rate : float }
+  | Reversed_exponential of { rate : float }
+  | Normal of { mean_frac : float; stddev_frac : float }
+  | Sequential
+  | Latest of { theta : float }
+
+(* YCSB-style zipfian over [0, n): precomputes zeta(n, theta) once. *)
+type zipf_state = {
+  n : int64;
+  theta : float;
+  zeta_n : float;
+  zeta2 : float;
+  alpha : float;
+  eta : float;
+}
+
+let zeta n theta =
+  let acc = ref 0.0 in
+  let n = Int64.to_int n in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. (float_of_int i ** theta))
+  done;
+  !acc
+
+let make_zipf n theta =
+  let zeta_n = zeta n theta in
+  let zeta2 = zeta 2L theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. ((2.0 /. Int64.to_float n) ** (1.0 -. theta)))
+    /. (1.0 -. (zeta2 /. zeta_n))
+  in
+  { n; theta; zeta_n; zeta2; alpha; eta }
+
+let zipf_sample z rng =
+  let u = Rng.float rng in
+  let uz = u *. z.zeta_n in
+  if uz < 1.0 then 0L
+  else if uz < 1.0 +. (0.5 ** z.theta) then 1L
+  else
+    Int64.of_float
+      (Int64.to_float z.n
+      *. (((z.eta *. u) -. z.eta +. 1.0) ** z.alpha))
+
+(* FNV-1a 64-bit scrambling, as YCSB's ScrambledZipfian does. *)
+let fnv64 v =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  for i = 0 to 7 do
+    let byte = Int64.(to_int (logand (shift_right_logical v (8 * i)) 0xffL)) in
+    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) prime
+  done;
+  Int64.logand !h Int64.max_int
+
+type state =
+  | S_uniform
+  | S_zipf of { z : zipf_state; scrambled : bool }
+  | S_exp of { rate : float; reversed : bool }
+  | S_normal of { mean : float; stddev : float }
+  | S_seq of { mutable counter : int64 }
+  | S_latest of { z : zipf_state; mutable bound : int64 }
+
+type t = { space : int64; rng : Rng.t; state : state }
+
+let make shape ~space ~seed =
+  let rng = Rng.create ~seed in
+  let state =
+    match shape with
+    | Uniform -> S_uniform
+    | Zipfian { theta; scrambled } ->
+      S_zipf { z = make_zipf space theta; scrambled }
+    | Exponential { rate } -> S_exp { rate; reversed = false }
+    | Reversed_exponential { rate } -> S_exp { rate; reversed = true }
+    | Normal { mean_frac; stddev_frac } ->
+      S_normal
+        {
+          mean = mean_frac *. Int64.to_float space;
+          stddev = stddev_frac *. Int64.to_float space;
+        }
+    | Sequential -> S_seq { counter = 0L }
+    | Latest { theta } ->
+      (* Zipf over a small initial window; rescaled on set_bound via
+         modular fold (YCSB uses zipf over item count directly; we zipf over
+         the full space and fold into [0, bound)). *)
+      S_latest { z = make_zipf space theta; bound = 1L }
+  in
+  { space; rng; state }
+
+let clamp t v =
+  if Int64.compare v 0L < 0 then 0L
+  else if Int64.compare v t.space >= 0 then Int64.sub t.space 1L
+  else v
+
+let rec gaussian rng =
+  (* Box–Muller (polar form). *)
+  let u = (2.0 *. Rng.float rng) -. 1.0 in
+  let v = (2.0 *. Rng.float rng) -. 1.0 in
+  let s = (u *. u) +. (v *. v) in
+  if s >= 1.0 || s = 0.0 then gaussian rng
+  else u *. sqrt (-2.0 *. log s /. s)
+
+let next t =
+  match t.state with
+  | S_uniform -> Rng.int64 t.rng t.space
+  | S_zipf { z; scrambled } ->
+    let v = zipf_sample z t.rng in
+    if scrambled then Int64.rem (fnv64 v) t.space else clamp t v
+  | S_exp { rate; reversed } ->
+    let u = Rng.float t.rng in
+    let u = if u <= 0.0 then 1e-12 else u in
+    let x = -.log u /. rate in
+    (* x ~ Exp(rate) in units of the whole space. *)
+    let pos = Int64.of_float (x *. Int64.to_float t.space) in
+    let pos = clamp t pos in
+    if reversed then Int64.sub (Int64.sub t.space 1L) pos else pos
+  | S_normal { mean; stddev } ->
+    clamp t (Int64.of_float (mean +. (stddev *. gaussian t.rng)))
+  | S_seq s ->
+    let v = s.counter in
+    s.counter <- Int64.add s.counter 1L;
+    Int64.rem v t.space
+  | S_latest s ->
+    let v = zipf_sample s.z t.rng in
+    let offset = Int64.rem v (Int64.max 1L s.bound) in
+    Int64.sub (Int64.max 1L s.bound) (Int64.add offset 1L)
+
+let set_bound t b =
+  match t.state with
+  | S_latest s -> s.bound <- b
+  | S_uniform | S_zipf _ | S_exp _ | S_normal _ | S_seq _ -> ()
+
+let shape_name = function
+  | Uniform -> "uniform"
+  | Zipfian _ -> "zipfian"
+  | Exponential _ -> "exponential"
+  | Reversed_exponential _ -> "reversed-exponential"
+  | Normal _ -> "normal"
+  | Sequential -> "sequential"
+  | Latest _ -> "latest"

@@ -1,0 +1,33 @@
+(** Key-space position generators.
+
+    A generator samples positions in [\[0, space)]. The shapes match the
+    paper's workloads: uniform, zipfian (YCSB-style with optional hash
+    scrambling), exponential (mass at the low end of the space),
+    reversed-exponential, normal (mass in the middle), sequential, and
+    "latest" (skewed toward the most recently inserted record, YCSB-D). *)
+
+type shape =
+  | Uniform
+  | Zipfian of { theta : float; scrambled : bool }
+  | Exponential of { rate : float }
+      (** Density ∝ exp(-rate·x/space); [rate] ≈ 10 concentrates ~99.995% of
+          the mass in the first half of the space. *)
+  | Reversed_exponential of { rate : float }
+  | Normal of { mean_frac : float; stddev_frac : float }
+  | Sequential
+  | Latest of { theta : float }
+      (** Position = max_position - zipfian_sample; requires the caller to
+          grow [max] via {!set_bound}. *)
+
+type t
+
+val make : shape -> space:int64 -> seed:int64 -> t
+
+val next : t -> int64
+(** A position in [\[0, bound)] where [bound] is [space] (or the dynamic
+    bound for [Latest] / the running counter for [Sequential]). *)
+
+val set_bound : t -> int64 -> unit
+(** For [Latest]: advance the "newest record" bound. Ignored otherwise. *)
+
+val shape_name : shape -> string

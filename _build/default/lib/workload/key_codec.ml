@@ -1,0 +1,13 @@
+let key_bytes = 16
+
+let encode v = Printf.sprintf "%016Ld" v
+
+let decode s =
+  if String.length s <> key_bytes then
+    invalid_arg "Key_codec.decode: wrong length";
+  try Int64.of_string s
+  with Failure _ -> invalid_arg "Key_codec.decode: not numeric"
+
+let fraction_of_space s ~space =
+  let v = decode s in
+  Int64.to_float v /. Int64.to_float space

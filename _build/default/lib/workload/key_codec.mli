@@ -1,0 +1,17 @@
+(** Fixed-width key encoding (db_bench style).
+
+    Numeric key-space positions become 16-byte zero-padded decimal strings,
+    so byte-wise key order equals numeric order — the property the bucket
+    partitioning and all range experiments rely on. *)
+
+val key_bytes : int
+(** 16. *)
+
+val encode : int64 -> string
+
+val decode : string -> int64
+(** @raise Invalid_argument on malformed keys. *)
+
+val fraction_of_space : string -> space:int64 -> float
+(** Position of the key in [\[0, space)] as a fraction in [\[0, 1\]] — used to
+    plot guard/bucket positions (Figures 2 and 7). *)

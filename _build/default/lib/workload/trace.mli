@@ -1,0 +1,35 @@
+(** Workload traces: record a stream of store operations to an Env file and
+    replay it later against any engine.
+
+    Traces make cross-engine comparisons exactly reproducible (every engine
+    sees the identical operation sequence) and let a problematic workload be
+    captured once and replayed under a debugger. Records are CRC-framed like
+    the WAL, so a truncated trace replays its intact prefix. *)
+
+type op =
+  | Put of string * string
+  | Delete of string
+  | Get of string
+  | Scan of { lo : string; hi : string; limit : int }
+
+module Writer : sig
+  type t
+
+  val create : Wip_storage.Env.t -> name:string -> t
+
+  val record : t -> op -> unit
+
+  val close : t -> unit
+  (** Flush and close; [record] must not be called afterwards. *)
+
+  val op_count : t -> int
+end
+
+val replay : Wip_storage.Env.t -> name:string -> (op -> unit) -> int
+(** Feed every intact operation, in order, to the callback; returns the
+    number of operations replayed. Stops silently at a torn tail. *)
+
+val replay_into :
+  Wip_storage.Env.t -> name:string -> Wip_kv.Store_intf.store -> int
+(** Drive a store with the trace: puts/deletes mutate, gets/scans execute
+    and have their results discarded. Returns operations applied. *)

@@ -1,0 +1,101 @@
+module Rng = Wip_util.Rng
+
+type workload = Load | A | B | C | D | E | F
+
+type op =
+  | Read of string
+  | Update of string * string
+  | Insert of string * string
+  | Scan of string * int
+  | Read_modify_write of string * string
+
+type t = {
+  workload : workload;
+  value_size : int;
+  rng : Rng.t;
+  key_dist : Distribution.t;
+  mutable insert_counter : int64;
+  space : int64;
+}
+
+let zipf_theta = 0.99
+
+let create workload ~record_count ?(value_size = 100) ?(seed = 42L) () =
+  let space = Int64.of_int record_count in
+  let key_dist =
+    let shape =
+      match workload with
+      | Load -> Distribution.Sequential
+      | A | B | C | E | F ->
+        Distribution.Zipfian { theta = zipf_theta; scrambled = true }
+      | D -> Distribution.Latest { theta = zipf_theta }
+    in
+    Distribution.make shape ~space ~seed
+  in
+  Distribution.set_bound key_dist space;
+  {
+    workload;
+    value_size;
+    rng = Rng.create ~seed:(Int64.add seed 1L);
+    key_dist;
+    insert_counter = space;
+    space;
+  }
+
+let value_for t key =
+  (* Deterministic pseudo-random payload derived from the key. *)
+  let h = Wip_util.Hashing.hash64 key in
+  let rng = Rng.create ~seed:h in
+  Bytes.to_string (Rng.bytes rng t.value_size)
+
+let existing_key t = Key_codec.encode (Distribution.next t.key_dist)
+
+let fresh_key t =
+  let k = t.insert_counter in
+  t.insert_counter <- Int64.add k 1L;
+  Distribution.set_bound t.key_dist t.insert_counter;
+  Key_codec.encode k
+
+let next t =
+  let roll = Rng.int t.rng 100 in
+  match t.workload with
+  | Load ->
+    let k = fresh_key t in
+    Insert (k, value_for t k)
+  | A ->
+    if roll < 50 then Read (existing_key t)
+    else
+      let k = existing_key t in
+      Update (k, value_for t k)
+  | B ->
+    if roll < 95 then Read (existing_key t)
+    else
+      let k = existing_key t in
+      Update (k, value_for t k)
+  | C -> Read (existing_key t)
+  | D ->
+    if roll < 95 then Read (existing_key t)
+    else
+      let k = fresh_key t in
+      Insert (k, value_for t k)
+  | E ->
+    if roll < 95 then Scan (existing_key t, 1 + Rng.int t.rng 100)
+    else
+      let k = fresh_key t in
+      Insert (k, value_for t k)
+  | F ->
+    if roll < 50 then Read (existing_key t)
+    else
+      let k = existing_key t in
+      Read_modify_write (k, value_for t k)
+
+let workload_name = function
+  | Load -> "Load"
+  | A -> "A"
+  | B -> "B"
+  | C -> "C"
+  | D -> "D"
+  | E -> "E"
+  | F -> "F"
+
+let all = [ Load; A; B; C; D; E; F ]

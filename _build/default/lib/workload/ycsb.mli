@@ -1,0 +1,40 @@
+(** YCSB core workload generator (paper §IV-E, Figure 10 / Table II).
+
+    Standard operation mixes over a preloaded store of [record_count] items:
+
+    - Load: 100% insert
+    - A: 50% read / 50% update, zipfian
+    - B: 95% read / 5% update, zipfian
+    - C: 100% read, zipfian
+    - D: 95% read / 5% insert, latest
+    - E: 95% scan / 5% insert, zipfian, scan length uniform in [1, 100]
+    - F: 50% read / 50% read-modify-write, zipfian *)
+
+type workload = Load | A | B | C | D | E | F
+
+type op =
+  | Read of string
+  | Update of string * string
+  | Insert of string * string
+  | Scan of string * int  (** start key, max records *)
+  | Read_modify_write of string * string
+
+type t
+
+val create :
+  workload ->
+  record_count:int ->
+  ?value_size:int ->
+  ?seed:int64 ->
+  unit ->
+  t
+
+val next : t -> op
+
+val workload_name : workload -> string
+
+val all : workload list
+(** [Load; A; B; C; D; E; F]. *)
+
+val value_for : t -> string -> string
+(** Deterministic value payload for a key (used for preloading). *)

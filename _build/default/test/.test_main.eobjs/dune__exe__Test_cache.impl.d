@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Int64 Printf String Wip_sstable Wip_storage Wip_util Wipdb

@@ -1,0 +1,1 @@
+test/test_concurrent.ml: Alcotest Atomic List Printf Random String Thread Wip_concurrent Wip_lsm Wip_util Wipdb

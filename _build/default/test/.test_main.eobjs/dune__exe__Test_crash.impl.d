@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Bytes Char Filename Fun List Printf String Wip_storage Wip_util Wipdb

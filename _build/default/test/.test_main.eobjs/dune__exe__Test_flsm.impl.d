@@ -1,0 +1,1 @@
+test/test_flsm.ml: Alcotest List Map Printf QCheck QCheck_alcotest String Wip_flsm Wip_storage Wip_util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Filename List Map Printf String Sys Unix Wip_flsm Wip_kv Wip_lsm Wip_storage Wip_util Wipdb

@@ -1,0 +1,1 @@
+test/test_iterator.ml: Alcotest List Printf Seq String Wip_storage Wip_util Wipdb

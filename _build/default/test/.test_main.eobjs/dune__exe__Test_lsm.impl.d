@@ -1,0 +1,1 @@
+test/test_lsm.ml: Alcotest List Map Printf QCheck QCheck_alcotest String Wip_lsm Wip_sstable Wip_storage Wip_util

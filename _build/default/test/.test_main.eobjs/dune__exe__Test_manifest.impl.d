@@ -1,0 +1,1 @@
+test/test_manifest.ml: Alcotest Filename List Wip_storage Wipdb

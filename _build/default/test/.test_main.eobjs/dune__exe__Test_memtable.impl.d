@@ -1,0 +1,1 @@
+test/test_memtable.ml: Alcotest Array Int64 List Map Printf QCheck QCheck_alcotest String Wip_memtable Wip_util

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Hashtbl Int64 List Printf QCheck QCheck_alcotest String Wip_lsm Wip_sstable Wip_storage Wip_util Wip_workload Wipdb

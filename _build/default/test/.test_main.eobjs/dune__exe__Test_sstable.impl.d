@@ -1,0 +1,1 @@
+test/test_sstable.ml: Alcotest Bytes Char Int64 List Printf QCheck QCheck_alcotest Seq String Wip_sstable Wip_storage Wip_util

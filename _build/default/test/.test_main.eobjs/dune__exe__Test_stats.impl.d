@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float List QCheck QCheck_alcotest Wip_stats

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Filename String Sys Unix Wip_storage

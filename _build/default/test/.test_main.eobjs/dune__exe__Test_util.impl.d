@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Buffer Bytes Char Int64 List QCheck QCheck_alcotest String Wip_util

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Bytes Char Filename Int64 List Printf QCheck QCheck_alcotest String Wip_storage Wip_util Wip_wal

@@ -1,0 +1,1 @@
+test/test_wipdb.ml: Alcotest List Map Printf QCheck QCheck_alcotest String Wip_memtable Wip_storage Wip_util Wipdb

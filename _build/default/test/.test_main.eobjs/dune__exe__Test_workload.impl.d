@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Hashtbl Int64 List Printf String Wip_kv Wip_lsm Wip_storage Wip_util Wip_workload Wipdb

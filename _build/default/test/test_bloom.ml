@@ -1,0 +1,79 @@
+(* Tests for wip_bloom: no false negatives, bounded false positives,
+   serialized-form queries. *)
+
+module Bloom = Wip_bloom.Bloom
+
+let keys n prefix = List.init n (fun i -> Printf.sprintf "%s-%08d" prefix i)
+
+let test_no_false_negatives () =
+  let b = Bloom.create ~bits_per_key:10 ~expected_keys:1000 in
+  let ks = keys 1000 "present" in
+  List.iter (Bloom.add b) ks;
+  List.iter
+    (fun k ->
+      if not (Bloom.mem b k) then Alcotest.failf "false negative on %s" k)
+    ks
+
+let test_false_positive_rate () =
+  let b = Bloom.create ~bits_per_key:10 ~expected_keys:2000 in
+  List.iter (Bloom.add b) (keys 2000 "in");
+  let fp = ref 0 in
+  let probes = 10_000 in
+  List.iter
+    (fun k -> if Bloom.mem b k then incr fp)
+    (keys probes "out");
+  (* ~1% expected at 10 bits/key; assert a generous 4% ceiling. *)
+  if !fp > probes * 4 / 100 then
+    Alcotest.failf "false positive rate too high: %d/%d" !fp probes
+
+let test_encoded_equivalence () =
+  let b = Bloom.create ~bits_per_key:10 ~expected_keys:500 in
+  let ks = keys 500 "x" in
+  List.iter (Bloom.add b) ks;
+  let encoded = Bloom.encode b in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        "encoded matches live" (Bloom.mem b k)
+        (Bloom.mem_encoded encoded k))
+    (ks @ keys 500 "y")
+
+let test_empty_or_bad_filter_is_permissive () =
+  Alcotest.(check bool) "empty" true (Bloom.mem_encoded "" "k");
+  Alcotest.(check bool) "bad probe count" true
+    (Bloom.mem_encoded "\x00\x00\x00\xff" "k")
+
+let test_sizing () =
+  let b = Bloom.create ~bits_per_key:10 ~expected_keys:100 in
+  Alcotest.(check bool) "bits >= keys*bits_per_key" true (Bloom.bit_count b >= 1000);
+  Alcotest.(check bool) "probes in [1,30]" true
+    (Bloom.probe_count b >= 1 && Bloom.probe_count b <= 30)
+
+let qcheck_no_false_negatives =
+  QCheck.Test.make ~name:"bloom never loses an added key" ~count:100
+    QCheck.(small_list small_string)
+    (fun ks ->
+      let b = Bloom.create ~bits_per_key:10 ~expected_keys:(max 1 (List.length ks)) in
+      List.iter (Bloom.add b) ks;
+      List.for_all (Bloom.mem b) ks)
+
+let qcheck_encoded_no_false_negatives =
+  QCheck.Test.make ~name:"serialized bloom never loses an added key" ~count:100
+    QCheck.(small_list small_string)
+    (fun ks ->
+      let b = Bloom.create ~bits_per_key:8 ~expected_keys:(max 1 (List.length ks)) in
+      List.iter (Bloom.add b) ks;
+      let e = Bloom.encode b in
+      List.for_all (fun k -> Bloom.mem_encoded e k) ks)
+
+let suite =
+  [
+    Alcotest.test_case "no false negatives" `Quick test_no_false_negatives;
+    Alcotest.test_case "false positive rate" `Quick test_false_positive_rate;
+    Alcotest.test_case "encoded equivalence" `Quick test_encoded_equivalence;
+    Alcotest.test_case "permissive on bad input" `Quick
+      test_empty_or_bad_filter_is_permissive;
+    Alcotest.test_case "sizing" `Quick test_sizing;
+    QCheck_alcotest.to_alcotest qcheck_no_false_negatives;
+    QCheck_alcotest.to_alcotest qcheck_encoded_no_false_negatives;
+  ]

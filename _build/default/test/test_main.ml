@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "wipdb"
+    [
+      ("util", Test_util.suite);
+      ("bloom", Test_bloom.suite);
+      ("storage", Test_storage.suite);
+      ("memtable", Test_memtable.suite);
+      ("sstable", Test_sstable.suite);
+      ("wal", Test_wal.suite);
+      ("workload", Test_workload.suite);
+      ("stats", Test_stats.suite);
+      ("lsm", Test_lsm.suite);
+      ("flsm", Test_flsm.suite);
+      ("wipdb", Test_wipdb.suite);
+      ("manifest", Test_manifest.suite);
+      ("integration", Test_integration.suite);
+      ("cache", Test_cache.suite);
+      ("iterator", Test_iterator.suite);
+      ("concurrent", Test_concurrent.suite);
+      ("crash", Test_crash.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,101 @@
+(* Tests for the WipDB manifest: edit encoding, replay order, torn tails,
+   and segment chaining across reopen. *)
+
+module Env = Wip_storage.Env
+module Manifest = Wipdb.Manifest
+
+let edits =
+  [
+    Manifest.Add_bucket { id = 0; lo = "" };
+    Manifest.Add_bucket { id = 1; lo = "m" };
+    Manifest.Add_table
+      {
+        bucket = 0;
+        level = 0;
+        name = "t-000001.lvt";
+        size = 1234;
+        entry_count = 99;
+        smallest = "a";
+        largest = "l";
+      };
+    Manifest.Remove_table { bucket = 0; level = 0; name = "t-000001.lvt" };
+    Manifest.Watermark { seq = 77L; next_file = 3 };
+    Manifest.Remove_bucket { id = 1 };
+  ]
+
+let test_roundtrip () =
+  let env = Env.in_memory () in
+  let m = Manifest.create env ~name:"mft" in
+  List.iter (Manifest.append m) edits;
+  Manifest.sync m;
+  let replayed = ref [] in
+  Manifest.replay env ~name:"mft" (fun e -> replayed := e :: !replayed);
+  Alcotest.(check int) "count" (List.length edits) (List.length !replayed);
+  Alcotest.(check bool) "order and content" true (List.rev !replayed = edits)
+
+let test_exists () =
+  let env = Env.in_memory () in
+  Alcotest.(check bool) "fresh env" false (Manifest.exists env ~name:"mft");
+  let _ = Manifest.create env ~name:"mft" in
+  Alcotest.(check bool) "after create" true (Manifest.exists env ~name:"mft")
+
+let test_reopen_chains_segments () =
+  let env = Env.in_memory () in
+  let m = Manifest.create env ~name:"mft" in
+  Manifest.append m (Manifest.Add_bucket { id = 0; lo = "" });
+  Manifest.sync m;
+  let m2 = Manifest.reopen env ~name:"mft" in
+  Manifest.append m2 (Manifest.Add_bucket { id = 1; lo = "x" });
+  Manifest.sync m2;
+  let replayed = ref [] in
+  Manifest.replay env ~name:"mft" (fun e -> replayed := e :: !replayed);
+  Alcotest.(check int) "both segments replayed" 2 (List.length !replayed);
+  match List.rev !replayed with
+  | [ Manifest.Add_bucket { id = 0; _ }; Manifest.Add_bucket { id = 1; _ } ] -> ()
+  | _ -> Alcotest.fail "order across segments"
+
+let test_create_truncates () =
+  let env = Env.in_memory () in
+  let m = Manifest.create env ~name:"mft" in
+  Manifest.append m (Manifest.Add_bucket { id = 0; lo = "" });
+  Manifest.sync m;
+  let _m2 = Manifest.create env ~name:"mft" in
+  let count = ref 0 in
+  Manifest.replay env ~name:"mft" (fun _ -> incr count);
+  Alcotest.(check int) "old edits gone" 0 !count
+
+let test_torn_tail () =
+  let env = Env.in_memory () in
+  let m = Manifest.create env ~name:"mft" in
+  Manifest.append m (Manifest.Add_bucket { id = 0; lo = "" });
+  Manifest.sync m;
+  (* Append half a record to the segment. *)
+  let seg =
+    List.find (fun f -> Filename.check_suffix f ".mft") (Env.list_files env)
+  in
+  let r = Env.open_file env seg in
+  let contents = Env.read_all r ~category:Wip_storage.Io_stats.Manifest in
+  Env.close_reader r;
+  let w = Env.create_file env seg in
+  Env.append w ~category:Wip_storage.Io_stats.Manifest (contents ^ "\x99\x99\x99");
+  Env.close_writer w;
+  let replayed = ref [] in
+  Manifest.replay env ~name:"mft" (fun e -> replayed := e :: !replayed);
+  Alcotest.(check int) "intact edit only" 1 (List.length !replayed)
+
+let test_bytes_written () =
+  let env = Env.in_memory () in
+  let m = Manifest.create env ~name:"mft" in
+  Alcotest.(check int) "zero" 0 (Manifest.bytes_written m);
+  Manifest.append m (Manifest.Watermark { seq = 1L; next_file = 1 });
+  Alcotest.(check bool) "positive" true (Manifest.bytes_written m > 0)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "exists" `Quick test_exists;
+    Alcotest.test_case "reopen chains" `Quick test_reopen_chains_segments;
+    Alcotest.test_case "create truncates" `Quick test_create_truncates;
+    Alcotest.test_case "torn tail" `Quick test_torn_tail;
+    Alcotest.test_case "bytes written" `Quick test_bytes_written;
+  ]

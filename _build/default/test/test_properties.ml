@@ -1,0 +1,193 @@
+(* Cross-cutting property tests: invariants that must hold for arbitrary
+   inputs and configurations, spanning several libraries at once. *)
+
+module Ikey = Wip_util.Ikey
+module Env = Wip_storage.Env
+module Io_stats = Wip_storage.Io_stats
+module Block = Wip_sstable.Block
+module Merge_iter = Wip_sstable.Merge_iter
+module Distribution = Wip_workload.Distribution
+
+(* Blocks must roundtrip keys with heavy shared prefixes and arbitrary
+   bytes — the prefix-compression path is the risky one. *)
+let qcheck_block_prefix_compression =
+  QCheck.Test.make ~name:"block roundtrips prefix-heavy binary keys" ~count:100
+    QCheck.(small_list (pair small_string small_string))
+    (fun raw ->
+      let keys =
+        raw
+        |> List.mapi (fun i (a, b) ->
+               (* Construct keys sharing long prefixes deliberately. *)
+               ("common-prefix-" ^ a ^ "\x00\xff" ^ b, string_of_int i))
+        |> List.sort_uniq (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let b = Block.Builder.create () in
+      List.iter (fun (k, v) -> Block.Builder.add b ~key:k ~value:v) keys;
+      let raw_block = Block.Builder.finish b in
+      Block.decode_all raw_block = keys)
+
+(* compact is idempotent: compacting an already-compacted stream changes
+   nothing. *)
+let qcheck_compact_idempotent =
+  QCheck.Test.make ~name:"merge compact is idempotent" ~count:100
+    QCheck.(small_list (pair (int_bound 50) (int_bound 1000)))
+    (fun raw ->
+      let entries =
+        raw
+        |> List.map (fun (k, s) ->
+               (Ikey.make (Printf.sprintf "%03d" k) ~seq:(Int64.of_int s), "v"))
+        |> List.sort_uniq (fun (a, _) (b, _) -> Ikey.compare a b)
+      in
+      let once =
+        List.of_seq
+          (Merge_iter.compact ~drop_tombstones:true [ List.to_seq entries ])
+      in
+      let twice =
+        List.of_seq
+          (Merge_iter.compact ~drop_tombstones:true [ List.to_seq once ])
+      in
+      once = twice)
+
+(* Splitting one sorted stream into chunks and merging them back is the
+   identity. *)
+let qcheck_merge_of_partition_is_identity =
+  QCheck.Test.make ~name:"merge of a partition restores the stream" ~count:100
+    QCheck.(pair (small_list (pair (int_bound 100) (int_bound 100))) (int_range 1 5))
+    (fun (raw, parts) ->
+      let entries =
+        raw
+        |> List.map (fun (k, s) ->
+               (Ikey.make (Printf.sprintf "%03d" k) ~seq:(Int64.of_int s), "v"))
+        |> List.sort_uniq (fun (a, _) (b, _) -> Ikey.compare a b)
+      in
+      let chunks = Array.make parts [] in
+      List.iteri (fun i e -> chunks.(i mod parts) <- e :: chunks.(i mod parts)) entries;
+      let seqs =
+        Array.to_list chunks |> List.map (fun c -> List.to_seq (List.rev c))
+      in
+      List.of_seq (Merge_iter.merge seqs) = entries)
+
+(* Every distribution shape stays within the space bound. *)
+let qcheck_distribution_bounds =
+  let shape_gen =
+    QCheck.Gen.oneofl
+      [
+        Distribution.Uniform;
+        Distribution.Zipfian { theta = 0.99; scrambled = true };
+        Distribution.Zipfian { theta = 0.8; scrambled = false };
+        Distribution.Exponential { rate = 5.0 };
+        Distribution.Reversed_exponential { rate = 12.0 };
+        Distribution.Normal { mean_frac = 0.3; stddev_frac = 0.4 };
+        Distribution.Sequential;
+        Distribution.Latest { theta = 0.99 };
+      ]
+  in
+  QCheck.Test.make ~name:"all distributions respect the space bound" ~count:40
+    (QCheck.make shape_gen)
+    (fun shape ->
+      let space = 10_000L in
+      let g = Distribution.make shape ~space ~seed:9L in
+      Distribution.set_bound g 500L;
+      let ok = ref true in
+      for _ = 1 to 500 do
+        let v = Distribution.next g in
+        if Int64.compare v 0L < 0 || Int64.compare v space >= 0 then ok := false
+      done;
+      !ok)
+
+(* Io_stats.diff algebra: diff(current, base) + base = current, per category. *)
+let qcheck_io_stats_diff =
+  QCheck.Test.make ~name:"io_stats diff is the counter delta" ~count:100
+    QCheck.(pair (small_list (pair (int_bound 5) small_nat)) (small_list (pair (int_bound 5) small_nat)))
+    (fun (first, second) ->
+      let cat = function
+        | 0 -> Io_stats.Flush
+        | 1 -> Io_stats.Wal
+        | 2 -> Io_stats.Compaction 1
+        | 3 -> Io_stats.Compaction 3
+        | 4 -> Io_stats.Split
+        | _ -> Io_stats.Manifest
+      in
+      let stats = Io_stats.create () in
+      List.iter (fun (c, n) -> Io_stats.record_write stats (cat c) n) first;
+      let base = Io_stats.snapshot stats in
+      List.iter (fun (c, n) -> Io_stats.record_write stats (cat c) n) second;
+      let d = Io_stats.diff stats base in
+      List.for_all
+        (fun c ->
+          Io_stats.written_by d (cat c)
+          = Io_stats.written_by stats (cat c) - Io_stats.written_by base (cat c))
+        [ 0; 1; 2; 3; 4; 5 ])
+
+(* WipDB's WA bound holds for arbitrary (valid) small configurations. *)
+let qcheck_wa_bound_random_configs =
+  QCheck.Test.make ~name:"WA stays near the paper bound for random configs"
+    ~count:8
+    QCheck.(triple (int_range 1 4) (int_range 2 6) (int_range 2 8))
+    (fun (l_max, t_sublevels, split_fanout) ->
+      let cfg =
+        {
+          Wipdb.Config.default with
+          Wipdb.Config.l_max;
+          t_sublevels;
+          split_fanout;
+          memtable_items = 64;
+          memtable_bytes = 8 * 1024;
+          min_count = 2;
+          max_count = max 4 t_sublevels;
+          bucket_merge_bytes = 0;
+          name = Printf.sprintf "q-%d-%d-%d" l_max t_sublevels split_fanout;
+        }
+      in
+      let db = Wipdb.Store.create cfg in
+      for i = 0 to 14_999 do
+        Wipdb.Store.put db ~key:(Printf.sprintf "%012d" (i * 31 mod 15_000))
+          ~value:"0123456789abcdef0123"
+      done;
+      let wa = Io_stats.write_amplification (Wipdb.Store.io_stats db) in
+      (* 1.4x allowance for format framing + manifest (see test_wipdb). *)
+      wa <= Wipdb.Config.wa_upper_bound cfg *. 1.4)
+
+(* Recovery is an identity on reads, regardless of where writes stopped. *)
+let qcheck_leveled_recovery =
+  QCheck.Test.make ~name:"leveled recovery preserves live keys" ~count:10
+    QCheck.(small_list (pair (int_bound 80) (option (int_bound 100))))
+    (fun ops ->
+      let env = Env.in_memory () in
+      let cfg =
+        {
+          (Wip_lsm.Leveled.leveldb_config ~scale:1) with
+          Wip_lsm.Leveled.memtable_bytes = 1024;
+          sstable_bytes = 512;
+          level1_bytes = 4096;
+          name = "qlvl";
+        }
+      in
+      let db = Wip_lsm.Leveled.create ~env cfg in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          let k = Printf.sprintf "%04d" k in
+          match v with
+          | Some v ->
+            Wip_lsm.Leveled.put db ~key:k ~value:(string_of_int v);
+            Hashtbl.replace model k (Some (string_of_int v))
+          | None ->
+            Wip_lsm.Leveled.delete db ~key:k;
+            Hashtbl.replace model k None)
+        ops;
+      let db2 = Wip_lsm.Leveled.recover ~env cfg in
+      Hashtbl.fold
+        (fun k v acc -> acc && Wip_lsm.Leveled.get db2 k = v)
+        model true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_block_prefix_compression;
+    QCheck_alcotest.to_alcotest qcheck_compact_idempotent;
+    QCheck_alcotest.to_alcotest qcheck_merge_of_partition_is_identity;
+    QCheck_alcotest.to_alcotest qcheck_distribution_bounds;
+    QCheck_alcotest.to_alcotest qcheck_io_stats_diff;
+    QCheck_alcotest.to_alcotest qcheck_wa_bound_random_configs;
+    QCheck_alcotest.to_alcotest qcheck_leveled_recovery;
+  ]
