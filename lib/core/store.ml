@@ -75,6 +75,33 @@ let make_bucket t ~id ~lo ~structure =
 
 let manifest_name cfg = cfg.Config.name ^ "-manifest"
 
+(* Initial bucket boundaries: evenly spaced over the numeric key space
+   (a single bucket when initial_buckets = 1, the paper's cold start).
+   Also used by recovery when the manifest replays to zero buckets — a
+   crash before the very first manifest sync leaves a store that must
+   bootstrap itself again. *)
+let bootstrap_buckets t =
+  let cfg = t.cfg in
+  let n = cfg.Config.initial_buckets in
+  let buckets =
+    Array.init n (fun i ->
+        let lo =
+          if i = 0 then ""
+          else
+            let pos =
+              Int64.div
+                (Int64.mul cfg.Config.initial_key_space (Int64.of_int i))
+                (Int64.of_int n)
+            in
+            Printf.sprintf "%016Ld" pos
+        in
+        let id = t.next_bucket_id in
+        t.next_bucket_id <- id + 1;
+        Manifest.append t.manifest (Manifest.Add_bucket { id; lo });
+        make_bucket t ~id ~lo ~structure:cfg.Config.memtable_structure)
+  in
+  t.buckets <- buckets
+
 let create ?env:env_opt cfg =
   (match Config.validate cfg with
   | Ok () -> ()
@@ -104,27 +131,7 @@ let create ?env:env_opt cfg =
          else None);
     }
   in
-  (* Initial bucket boundaries: evenly spaced over the numeric key space
-     (a single bucket when initial_buckets = 1, the paper's cold start). *)
-  let n = cfg.Config.initial_buckets in
-  let buckets =
-    Array.init n (fun i ->
-        let lo =
-          if i = 0 then ""
-          else
-            let pos =
-              Int64.div
-                (Int64.mul cfg.Config.initial_key_space (Int64.of_int i))
-                (Int64.of_int n)
-            in
-            Printf.sprintf "%016Ld" pos
-        in
-        let id = t.next_bucket_id in
-        t.next_bucket_id <- id + 1;
-        Manifest.append manifest (Manifest.Add_bucket { id; lo });
-        make_bucket t ~id ~lo ~structure:cfg.Config.memtable_structure)
-  in
-  t.buckets <- buckets;
+  bootstrap_buckets t;
   Manifest.sync manifest;
   t
 
@@ -206,6 +213,10 @@ let table_seq t ~category meta =
 (* Flush (minor compaction): MemTable -> one level-0 LevelTable *)
 
 let wal_reclaim t =
+  (* Deleting a WAL segment discards the only other copy of the records the
+     manifest's latest edits account for — those edits must hit the device
+     first, or a crash after the delete loses acknowledged data. *)
+  Manifest.sync t.manifest;
   (* Figure 5: the reclamation bound is the smallest unpersisted sequence
      number across all MemTables, or just past the newest write when every
      MemTable is empty. *)
@@ -221,6 +232,10 @@ let wal_reclaim t =
 
 let flush_bucket t bucket =
   if not (Memtable.is_empty bucket.memtable) then begin
+    (* A batch can span buckets, so this flush may persist part of a batch
+       whose WAL record is still buffered; sync the log first so a crash
+       after the flush replays the whole batch instead of applying half. *)
+    Wal.sync t.wal;
     let entries = Memtable.sorted_entries bucket.memtable in
     let builder =
       Table.Builder.create t.env ~name:(fresh_table_name t)
@@ -279,6 +294,9 @@ let compact_level t bucket level =
     List.iter (fun m -> log_remove_table t bucket level m) inputs;
     bucket.levels.(level) <- [];
     bucket.read_counts.(level) <- 0;
+    (* The removes must be durable before the inputs vanish, or recovery
+       would replay a manifest referencing deleted files. *)
+    Manifest.sync t.manifest;
     List.iter (drop_table t) inputs
   end
 
@@ -438,14 +456,13 @@ let split_bucket t bucket =
         (* Capacity cannot be exceeded: the old table held all of these. *)
         ignore (Memtable.try_add b.memtable ik v))
       old_entries;
-    (* Retire the old bucket and its tables. *)
+    (* Retire the old bucket. Log every edit of the split first, make them
+       durable, and only then delete the retired files — recovery either
+       sees the whole split or none of it, never a manifest pointing at
+       missing tables. *)
     Array.iteri
       (fun level tables ->
-        List.iter
-          (fun m ->
-            log_remove_table t bucket level m;
-            drop_table t m)
-          tables)
+        List.iter (fun m -> log_remove_table t bucket level m) tables)
       bucket.levels;
     Manifest.append t.manifest (Manifest.Remove_bucket { id = bucket.id });
     let others =
@@ -456,7 +473,9 @@ let split_bucket t bucket =
     in
     t.buckets <- Array.of_list all;
     Manifest.append t.manifest
-      (Manifest.Watermark { seq = t.seq; next_file = t.next_file })
+      (Manifest.Watermark { seq = t.seq; next_file = t.next_file });
+    Manifest.sync t.manifest;
+    Array.iter (fun tables -> List.iter (drop_table t) tables) bucket.levels
   end
 
 (* ------------------------------------------------------------------ *)
@@ -506,13 +525,15 @@ let merge_buckets t left right =
         (Memtable.sorted_entries b.memtable);
       Array.iteri
         (fun level tables ->
-          List.iter
-            (fun m ->
-              log_remove_table t b level m;
-              drop_table t m)
-            tables)
+          List.iter (fun m -> log_remove_table t b level m) tables)
         b.levels;
       Manifest.append t.manifest (Manifest.Remove_bucket { id = b.id }))
+    [ left; right ];
+  (* Edits durable before the retired files are deleted. *)
+  Manifest.sync t.manifest;
+  List.iter
+    (fun b ->
+      Array.iter (fun tables -> List.iter (drop_table t) tables) b.levels)
     [ left; right ];
   let others =
     Array.to_list t.buckets
@@ -608,6 +629,7 @@ let collapse_last_level t bucket =
     end;
     List.iter (fun m -> log_remove_table t bucket level m) inputs;
     bucket.read_counts.(level) <- 0;
+    Manifest.sync t.manifest;
     List.iter (drop_table t) inputs
   end
 
@@ -882,6 +904,30 @@ let scan t ~lo ~hi ?limit () = scan_at t ~lo ~hi ?limit ~snapshot:t.seq ()
 (* ------------------------------------------------------------------ *)
 (* Recovery *)
 
+(* Delete table files that no live bucket references — debris of an
+   interrupted flush/compaction/split whose manifest edit never became
+   durable. Only files carrying this store's name prefix and the table
+   suffix are touched, so co-tenant stores on the same Env are safe. *)
+let gc_orphans t =
+  let live = Hashtbl.create 64 in
+  Array.iter
+    (fun b ->
+      Array.iter
+        (List.iter (fun (m : Table.meta) -> Hashtbl.replace live m.Table.name ()))
+        b.levels)
+    t.buckets;
+  let prefix = t.cfg.Config.name ^ "-" in
+  let plen = String.length prefix in
+  List.iter
+    (fun f ->
+      if
+        String.length f > plen
+        && String.equal (String.sub f 0 plen) prefix
+        && Filename.check_suffix f ".lvt"
+        && not (Hashtbl.mem live f)
+      then Env.delete t.env f)
+    (Env.list_files t.env)
+
 let recover ?env:env_opt cfg =
   let env = match env_opt with Some e -> e | None -> Env.in_memory () in
   if not (Manifest.exists env ~name:(manifest_name cfg)) then create ~env cfg
@@ -952,6 +998,9 @@ let recover ?env:env_opt cfg =
     in
     t.buckets <- Array.of_list bucket_list;
     t.next_bucket_id <- !max_bucket_id + 1;
+    (* A crash before the very first manifest sync replays to zero buckets;
+       bootstrap again so the WAL replay below has somewhere to land. *)
+    if Array.length t.buckets = 0 then bootstrap_buckets t;
     (* next_file: beyond both the watermark and any live table file. *)
     let max_file_no =
       Array.fold_left
@@ -995,6 +1044,7 @@ let recover ?env:env_opt cfg =
     let t = { t with wal } in
     if Int64.compare (Wal.max_seq_logged wal) t.seq > 0 then
       t.seq <- Wal.max_seq_logged wal;
+    gc_orphans t;
     t
   end
 
@@ -1032,6 +1082,12 @@ let file_sizes t =
   |> List.concat_map (fun b ->
          Array.to_list b.levels
          |> List.concat_map (List.map (fun (m : Table.meta) -> m.Table.size)))
+
+let live_table_files t =
+  Array.to_list t.buckets
+  |> List.concat_map (fun b ->
+         Array.to_list b.levels
+         |> List.concat_map (List.map (fun (m : Table.meta) -> m.Table.name)))
 
 let memtable_probes t =
   Array.fold_left (fun acc b -> acc + Memtable.probes b.memtable) 0 t.buckets

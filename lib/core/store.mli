@@ -69,6 +69,11 @@ val memtable_probes : t -> int
 
 val config : t -> Config.t
 
+val live_table_files : t -> string list
+(** Names of every table file the bucket directory references — after
+    recovery, exactly the table files present on the Env (orphans are
+    garbage-collected). *)
+
 (** {1 Streaming iteration}
 
     [iter_range] is the lazy counterpart of {!scan}: entries materialize one

@@ -178,9 +178,10 @@ let rec split_fragment t ~category (meta : Table.meta) ~at =
       None
     end
   in
+  (* The caller deletes [meta] once the manifest edits replacing it are
+     durable. *)
   let left = build (fresh_table_name t) (fun k -> String.compare k at < 0) in
   let right = build (fresh_table_name t) (fun k -> String.compare k at >= 0) in
-  drop_table t meta;
   (left, right)
 
 and commit_guards t level =
@@ -194,6 +195,7 @@ and commit_guards t level =
       List.sort_uniq String.compare keys
       |> List.filter (fun k -> not (List.mem k existing))
     in
+    let split_inputs = ref [] in
     List.iter
       (fun g ->
         Manifest.append t.manifest (Manifest.Add_bucket { id = level; lo = g });
@@ -222,6 +224,7 @@ and commit_guards t level =
                     right_frags := m :: !right_frags
                   else begin
                     let l, r = split_fragment t ~category:Io_stats.Split m ~at:g in
+                    split_inputs := m :: !split_inputs;
                     log_remove_fragment t ~level m;
                     (match l with
                     | Some m ->
@@ -241,7 +244,13 @@ and commit_guards t level =
             end
         in
         lvl.spans <- place [] lvl.spans)
-      fresh
+      fresh;
+    if !split_inputs <> [] then begin
+      (* The split halves' edits must be durable before the straddling
+         fragment they replace is deleted. *)
+      Manifest.sync t.manifest;
+      List.iter (drop_table t) !split_inputs
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Flush and compaction *)
@@ -270,6 +279,9 @@ let flush_mem t =
       log_add_fragment t ~level:0 meta
     | None -> ());
     log_watermark t;
+    (* The flushed fragment's manifest edit must be durable before the WAL
+       records it replaces are reclaimed. *)
+    Manifest.sync t.manifest;
     t.mem <- Skiplist.create ();
     ignore (Wal.reclaim t.wal ~persisted_below:(Int64.add t.seq 1L))
   end
@@ -358,6 +370,8 @@ let compact_l0 t =
     t.l0 <- [];
     List.iter (fun m -> log_remove_fragment t ~level:0 m) inputs;
     log_watermark t;
+    (* Removes durable before the input files vanish. *)
+    Manifest.sync t.manifest;
     List.iter (drop_table t) inputs
   end
 
@@ -378,6 +392,7 @@ let compact_span t level span =
     span.fragments <- [];
     List.iter (fun m -> log_remove_fragment t ~level m) inputs;
     log_watermark t;
+    Manifest.sync t.manifest;
     List.iter (drop_table t) inputs
   end
 
@@ -507,6 +522,29 @@ let recover ?env cfg =
     let t = { t with wal } in
     if Int64.compare (Wal.max_seq_logged wal) t.seq > 0 then
       t.seq <- Wal.max_seq_logged wal;
+    (* Garbage-collect fragment files no manifest edit survived for. *)
+    let live = Hashtbl.create 64 in
+    List.iter (fun (m : Table.meta) -> Hashtbl.replace live m.Table.name ()) t.l0;
+    Array.iter
+      (fun lvl ->
+        List.iter
+          (fun s ->
+            List.iter
+              (fun (m : Table.meta) -> Hashtbl.replace live m.Table.name ())
+              s.fragments)
+          lvl.spans)
+      t.levels;
+    let prefix = cfg.name ^ "-" in
+    let plen = String.length prefix in
+    List.iter
+      (fun f ->
+        if
+          String.length f > plen
+          && String.equal (String.sub f 0 plen) prefix
+          && Filename.check_suffix f ".sst"
+          && not (Hashtbl.mem live f)
+        then Env.delete env f)
+      (Env.list_files env);
     t
   end
 
@@ -651,6 +689,15 @@ let file_sizes t =
   in
   List.map (fun (m : Table.meta) -> m.Table.size) t.l0
   @ List.concat_map frag_sizes (Array.to_list t.levels)
+
+let live_table_files t =
+  List.map (fun (m : Table.meta) -> m.Table.name) t.l0
+  @ List.concat_map
+      (fun lvl ->
+        List.concat_map
+          (fun s -> List.map (fun (m : Table.meta) -> m.Table.name) s.fragments)
+          lvl.spans)
+      (Array.to_list t.levels)
 
 let guard_count t ~level =
   if level < 1 || level >= t.cfg.max_levels then 0

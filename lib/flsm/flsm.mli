@@ -44,4 +44,8 @@ val level_count : t -> int
 
 val compaction_count : t -> int
 
+val live_table_files : t -> string list
+(** Names of every fragment file the guard structure references — after
+    recovery, exactly the table files present on the Env. *)
+
 include Wip_kv.Store_intf.S with type t := t

@@ -144,6 +144,9 @@ let flush_mem t =
          });
     Manifest.append t.manifest
       (Manifest.Watermark { seq = t.seq; next_file = t.next_file });
+    (* The flushed table's manifest edit must be durable before the WAL
+       records it replaces are reclaimed. *)
+    Manifest.sync t.manifest;
     t.mem <- Skiplist.create ();
     ignore (Wal.reclaim t.wal ~persisted_below:(Int64.add t.seq 1L))
   end
@@ -282,6 +285,9 @@ let compact_level t level =
       inputs;
     Manifest.append t.manifest
       (Manifest.Watermark { seq = t.seq; next_file = t.next_file });
+    (* Removes durable before the input files vanish, or recovery would
+       replay a manifest referencing deleted files. *)
+    Manifest.sync t.manifest;
     List.iter (drop_table t) inputs
   end
 
@@ -369,6 +375,23 @@ let recover ?env cfg =
     let t = { t with wal } in
     if Int64.compare (Wal.max_seq_logged wal) t.seq > 0 then
       t.seq <- Wal.max_seq_logged wal;
+    (* Garbage-collect table files no manifest edit survived for — debris
+       of a flush or compaction interrupted before its edits were synced. *)
+    let live = Hashtbl.create 64 in
+    Array.iter
+      (List.iter (fun (m : Table.meta) -> Hashtbl.replace live m.Table.name ()))
+      t.levels;
+    let prefix = cfg.name ^ "-" in
+    let plen = String.length prefix in
+    List.iter
+      (fun f ->
+        if
+          String.length f > plen
+          && String.equal (String.sub f 0 plen) prefix
+          && Filename.check_suffix f ".sst"
+          && not (Hashtbl.mem live f)
+        then Env.delete env f)
+      (Env.list_files env);
     t
   end
 
@@ -488,6 +511,10 @@ let flush t = flush_mem t
 let file_sizes t =
   Array.to_list t.levels
   |> List.concat_map (List.map (fun (m : Table.meta) -> m.Table.size))
+
+let live_table_files t =
+  Array.to_list t.levels
+  |> List.concat_map (List.map (fun (m : Table.meta) -> m.Table.name))
 
 let level_count t =
   let rec deepest l = if l < 0 then 0 else if t.levels.(l) <> [] then l + 1 else deepest (l - 1) in

@@ -54,4 +54,8 @@ val guard_positions : t -> level:int -> every:int -> space:int64 -> float list
 
 val compaction_count : t -> int
 
+val live_table_files : t -> string list
+(** Names of every table file the level structure references — after
+    recovery, exactly the table files present on the Env. *)
+
 include Wip_kv.Store_intf.S with type t := t

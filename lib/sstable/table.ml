@@ -143,8 +143,17 @@ module Reader = struct
     cache : Wip_storage.Block_cache.t option;
   }
 
+  (* Decoding damaged bytes fails with Invalid_argument somewhere inside the
+     format/coding layers (checksum mismatch, bad magic, impossible offset or
+     length). Surface all of it as the typed Corruption, tagged with the
+     file, and never let garbage decode into answers. *)
+  let guard ~file f =
+    try f () with
+    | Invalid_argument detail -> raise (Env.Corruption { file; detail })
+
   let open_ ?cache env ~name =
     let reader = Env.open_file env name in
+    guard ~file:name @@ fun () ->
     let size = Env.file_size reader in
     (* Discover the footer: last 4 bytes give the total footer length. *)
     let tail =
@@ -193,6 +202,7 @@ module Reader = struct
 
   let read_block t ~category (handle : Table_format.block_handle) =
     let fetch () =
+      guard ~file:t.meta.name @@ fun () ->
       Table_format.unseal_block
         (Env.read t.reader ~category ~pos:handle.offset ~len:handle.size)
     in
@@ -233,7 +243,7 @@ module Reader = struct
     if not (may_contain t user_key) then None
     else begin
       let target = Ikey.make user_key ~seq:snapshot in
-      match index_slot t target with
+      match guard ~file:t.meta.name (fun () -> index_slot t target) with
       | None -> None
       | Some slot ->
         let _, handle = t.index.(slot) in

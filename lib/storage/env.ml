@@ -1,6 +1,35 @@
+exception Io_fault of { op : string; file : string }
+
+exception Corruption of { file : string; detail : string }
+
+(* A custom backend is a vtable of closures: the hook Fault_env (and any
+   future backend) uses to sit underneath every byte the store moves. *)
+type custom = {
+  c_create : string -> custom_writer;
+  c_open : string -> custom_reader; (* raises Not_found *)
+  c_exists : string -> bool;
+  c_delete : string -> unit;
+  c_rename : src:string -> dst:string -> unit;
+  c_list : unit -> string list;
+  c_live_bytes : unit -> int;
+}
+
+and custom_writer = {
+  cw_append : string -> unit;
+  cw_sync : unit -> unit;
+  cw_close : unit -> unit;
+}
+
+and custom_reader = {
+  cr_size : int;
+  cr_read : pos:int -> len:int -> string;
+  cr_close : unit -> unit;
+}
+
 type backend =
   | Mem of (string, Buffer.t) Hashtbl.t
   | Posix of string (* root directory *)
+  | Custom of custom
 
 type t = { backend : backend; stats : Io_stats.t }
 
@@ -11,7 +40,7 @@ type writer = {
   w_impl : w_impl;
 }
 
-and w_impl = W_mem of Buffer.t | W_posix of out_channel
+and w_impl = W_mem of Buffer.t | W_posix of out_channel | W_custom of custom_writer
 
 type reader = {
   r_env : t;
@@ -19,9 +48,11 @@ type reader = {
   r_impl : r_impl;
 }
 
-and r_impl = R_mem of string | R_posix of in_channel
+and r_impl = R_mem of string | R_posix of in_channel | R_custom of custom_reader
 
 let in_memory () = { backend = Mem (Hashtbl.create 64); stats = Io_stats.create () }
+
+let custom c = { backend = Custom c; stats = Io_stats.create () }
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -40,6 +71,15 @@ let posix_path root name =
   let flat = String.map (fun c -> if c = '/' then '_' else c) name in
   Filename.concat root flat
 
+(* Creations, renames and deletes only survive a power failure once the
+   containing directory is fsynced — same discipline as LevelDB's env. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
 let create_file t name =
   match t.backend with
   | Mem files ->
@@ -48,22 +88,35 @@ let create_file t name =
     { w_env = t; w_name = name; w_off = 0; w_impl = W_mem buf }
   | Posix root ->
     let oc = open_out_bin (posix_path root name) in
+    fsync_dir root;
     { w_env = t; w_name = name; w_off = 0; w_impl = W_posix oc }
+  | Custom c ->
+    { w_env = t; w_name = name; w_off = 0; w_impl = W_custom (c.c_create name) }
 
 let append w ~category s =
-  Io_stats.record_write w.w_env.stats category (String.length s);
-  w.w_off <- w.w_off + String.length s;
-  match w.w_impl with
+  (match w.w_impl with
   | W_mem buf -> Buffer.add_string buf s
   | W_posix oc -> output_string oc s
+  | W_custom cw -> cw.cw_append s);
+  Io_stats.record_write w.w_env.stats category (String.length s);
+  w.w_off <- w.w_off + String.length s
 
 let writer_offset w = w.w_off
 
 let sync w =
-  match w.w_impl with W_mem _ -> () | W_posix oc -> flush oc
+  Io_stats.record_sync w.w_env.stats;
+  match w.w_impl with
+  | W_mem _ -> ()
+  | W_posix oc ->
+    flush oc;
+    (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ())
+  | W_custom cw -> cw.cw_sync ()
 
 let close_writer w =
-  match w.w_impl with W_mem _ -> () | W_posix oc -> close_out oc
+  match w.w_impl with
+  | W_mem _ -> ()
+  | W_posix oc -> close_out oc
+  | W_custom cw -> cw.cw_close ()
 
 let open_file t name =
   match t.backend with
@@ -76,6 +129,9 @@ let open_file t name =
     if not (Sys.file_exists path) then raise Not_found;
     let ic = open_in_bin path in
     { r_env = t; r_size = in_channel_length ic; r_impl = R_posix ic }
+  | Custom c ->
+    let cr = c.c_open name in
+    { r_env = t; r_size = cr.cr_size; r_impl = R_custom cr }
 
 let read r ~category ~pos ~len =
   if pos < 0 || len < 0 || pos + len > r.r_size then
@@ -88,25 +144,34 @@ let read r ~category ~pos ~len =
   | R_posix ic ->
     seek_in ic pos;
     really_input_string ic len
+  | R_custom cr -> cr.cr_read ~pos ~len
 
 let read_all r ~category = read r ~category ~pos:0 ~len:r.r_size
 
 let file_size r = r.r_size
 
 let close_reader r =
-  match r.r_impl with R_mem _ -> () | R_posix ic -> close_in ic
+  match r.r_impl with
+  | R_mem _ -> ()
+  | R_posix ic -> close_in ic
+  | R_custom cr -> cr.cr_close ()
 
 let exists t name =
   match t.backend with
   | Mem files -> Hashtbl.mem files name
   | Posix root -> Sys.file_exists (posix_path root name)
+  | Custom c -> c.c_exists name
 
 let delete t name =
   match t.backend with
   | Mem files -> Hashtbl.remove files name
   | Posix root ->
     let path = posix_path root name in
-    if Sys.file_exists path then Sys.remove path
+    if Sys.file_exists path then begin
+      Sys.remove path;
+      fsync_dir root
+    end
+  | Custom c -> c.c_delete name
 
 let rename t ~src ~dst =
   match t.backend with
@@ -116,7 +181,10 @@ let rename t ~src ~dst =
      | Some buf ->
        Hashtbl.remove files src;
        Hashtbl.replace files dst buf)
-  | Posix root -> Sys.rename (posix_path root src) (posix_path root dst)
+  | Posix root ->
+    Sys.rename (posix_path root src) (posix_path root dst);
+    fsync_dir root
+  | Custom c -> c.c_rename ~src ~dst
 
 let list_files t =
   match t.backend with
@@ -125,6 +193,7 @@ let list_files t =
     |> List.sort String.compare
   | Posix root ->
     Sys.readdir root |> Array.to_list |> List.sort String.compare
+  | Custom c -> List.sort String.compare (c.c_list ())
 
 let total_live_bytes t =
   match t.backend with
@@ -135,3 +204,4 @@ let total_live_bytes t =
          (fun acc name ->
            acc + (Unix.stat (Filename.concat root name)).Unix.st_size)
          0
+  | Custom c -> c.c_live_bytes ()

@@ -12,6 +12,14 @@
 
     Paths are flat strings ("000017.lvt", "wal/000002.log", ...). *)
 
+exception Io_fault of { op : string; file : string }
+(** A transient device error (injected by {!Fault_env} or surfaced by a
+    backend). The operation had no effect; retrying is legal. *)
+
+exception Corruption of { file : string; detail : string }
+(** Stored bytes failed validation (checksum mismatch, impossible offsets,
+    bad magic). Raised by readers instead of ever decoding garbage. *)
+
 type t
 
 type writer
@@ -23,7 +31,39 @@ type reader
 val in_memory : unit -> t
 
 val posix : root:string -> t
-(** Files live under [root]; the directory is created if missing. *)
+(** Files live under [root]; the directory is created if missing. File
+    creation, deletion and rename are made durable with a directory fsync;
+    {!sync} is a real fsync. *)
+
+(** {1 Custom backends}
+
+    A backend implemented outside this module — a vtable of closures.
+    {!Fault_env} uses this to interpose fault plans under any store. *)
+
+type custom = {
+  c_create : string -> custom_writer;
+  c_open : string -> custom_reader;  (** raises [Not_found] when missing *)
+  c_exists : string -> bool;
+  c_delete : string -> unit;
+  c_rename : src:string -> dst:string -> unit;
+  c_list : unit -> string list;
+  c_live_bytes : unit -> int;
+}
+
+and custom_writer = {
+  cw_append : string -> unit;
+  cw_sync : unit -> unit;
+  cw_close : unit -> unit;
+}
+
+and custom_reader = {
+  cr_size : int;
+  cr_read : pos:int -> len:int -> string;
+  cr_close : unit -> unit;
+}
+
+val custom : custom -> t
+(** Wrap a custom backend; I/O accounting still happens in this module. *)
 
 val stats : t -> Io_stats.t
 
@@ -38,7 +78,8 @@ val writer_offset : writer -> int
 (** Bytes written so far. *)
 
 val sync : writer -> unit
-(** Durability barrier. No-op in memory; fsync on POSIX. *)
+(** Durability barrier. No-op in memory; fsync on POSIX. Counted by
+    {!Io_stats.sync_count} on every backend. *)
 
 val close_writer : writer -> unit
 

@@ -1,0 +1,201 @@
+exception Crashed
+
+(* Growable byte array: Buffer has no in-place mutation, which bit-flip
+   corruption needs. *)
+type file = {
+  mutable data : Bytes.t;
+  mutable len : int;
+  mutable synced : int; (* durable prefix length, <= len *)
+}
+
+type fault = Crash of { torn : int } | Fail
+
+type t = {
+  files : (string, file) Hashtbl.t;
+  mutable durable_plan : (int * fault) list;
+  mutable read_plan : int list;
+  mutable durable_ops : int;
+  mutable read_ops : int;
+  mutable captured : (string * string) list option;
+  mutable wrapped : Env.t option;
+}
+
+let create_file_state () = { data = Bytes.create 256; len = 0; synced = 0 }
+
+let ensure_capacity f extra =
+  let need = f.len + extra in
+  if need > Bytes.length f.data then begin
+    let bigger = Bytes.create (max need (2 * Bytes.length f.data)) in
+    Bytes.blit f.data 0 bigger 0 f.len;
+    f.data <- bigger
+  end
+
+let contents f = Bytes.sub_string f.data 0 f.len
+
+let find_file t name =
+  match Hashtbl.find_opt t.files name with
+  | Some f -> f
+  | None -> raise Not_found
+
+let stats t =
+  match t.wrapped with Some env -> Env.stats env | None -> assert false
+
+(* Capture the durable view: each file cut to its synced prefix, except
+   [torn_file] which keeps [torn] extra unsynced bytes (a torn write).
+   [buffered] is the extent of valid bytes in the torn file's buffer —
+   during an append crash the in-flight bytes sit beyond [f.len]. *)
+let capture t ~torn_file ~torn ~buffered =
+  let image =
+    Hashtbl.fold
+      (fun name f acc ->
+        let keep =
+          if String.equal name torn_file then min buffered (f.synced + torn)
+          else f.synced
+        in
+        (name, Bytes.sub_string f.data 0 keep) :: acc)
+      t.files []
+  in
+  t.captured <- Some image
+
+(* One durable op: consult the plan, then run [apply]. A crash captures the
+   image with the op's bytes already buffered, so [torn] can expose any
+   prefix of them. *)
+let durable_op t ~op_name ~file ~torn_file ~buffered ~apply =
+  t.durable_ops <- t.durable_ops + 1;
+  match List.assoc_opt t.durable_ops t.durable_plan with
+  | Some (Crash { torn }) ->
+    Io_stats.record_fault (stats t);
+    capture t ~torn_file ~torn ~buffered;
+    raise Crashed
+  | Some Fail ->
+    Io_stats.record_fault (stats t);
+    raise (Env.Io_fault { op = op_name; file })
+  | None -> apply ()
+
+let backend t =
+  let create name =
+    let f = create_file_state () in
+    Hashtbl.replace t.files name f;
+    {
+      Env.cw_append =
+        (fun s ->
+          (* Buffer the bytes first so a crash here can tear them. *)
+          ensure_capacity f (String.length s);
+          Bytes.blit_string s 0 f.data f.len (String.length s);
+          let before = f.len in
+          durable_op t ~op_name:"append" ~file:name ~torn_file:name
+            ~buffered:(before + String.length s)
+            ~apply:(fun () -> f.len <- before + String.length s));
+      cw_sync =
+        (fun () ->
+          (* The tail being persisted is still unsynced if we crash here. *)
+          durable_op t ~op_name:"sync" ~file:name ~torn_file:name
+            ~buffered:f.len
+            ~apply:(fun () -> f.synced <- f.len));
+      cw_close = (fun () -> ());
+    }
+  in
+  let open_ name =
+    let f = find_file t name in
+    let snapshot = contents f in
+    {
+      Env.cr_size = String.length snapshot;
+      cr_read =
+        (fun ~pos ~len ->
+          t.read_ops <- t.read_ops + 1;
+          if List.mem t.read_ops t.read_plan then begin
+            Io_stats.record_fault (stats t);
+            raise (Env.Io_fault { op = "read"; file = name })
+          end;
+          String.sub snapshot pos len);
+      cr_close = (fun () -> ());
+    }
+  in
+  {
+    Env.c_create = create;
+    c_open = open_;
+    c_exists = (fun name -> Hashtbl.mem t.files name);
+    c_delete = (fun name -> Hashtbl.remove t.files name);
+    c_rename =
+      (fun ~src ~dst ->
+        let f = find_file t src in
+        Hashtbl.remove t.files src;
+        Hashtbl.replace t.files dst f);
+    c_list = (fun () -> Hashtbl.fold (fun name _ acc -> name :: acc) t.files []);
+    c_live_bytes = (fun () -> Hashtbl.fold (fun _ f acc -> acc + f.len) t.files 0);
+  }
+
+let create () =
+  let t =
+    {
+      files = Hashtbl.create 64;
+      durable_plan = [];
+      read_plan = [];
+      durable_ops = 0;
+      read_ops = 0;
+      captured = None;
+      wrapped = None;
+    }
+  in
+  t.wrapped <- Some (Env.custom (backend t));
+  t
+
+let env t = match t.wrapped with Some e -> e | None -> assert false
+
+let crash_at t ~op ?(torn = 0) () =
+  t.durable_plan <- (op, Crash { torn }) :: t.durable_plan
+
+let fail_write_at t ~op = t.durable_plan <- (op, Fail) :: t.durable_plan
+
+let fail_read_at t ~op = t.read_plan <- op :: t.read_plan
+
+let flip_bit t ~file ~bit =
+  let f = find_file t file in
+  let pos = bit / 8 in
+  if pos >= f.len then
+    invalid_arg
+      (Printf.sprintf "Fault_env.flip_bit: bit %d outside %s (%d bytes)" bit
+         file f.len);
+  Io_stats.record_fault (stats t);
+  Bytes.set f.data pos
+    (Char.chr (Char.code (Bytes.get f.data pos) lxor (1 lsl (bit mod 8))))
+
+let durable_ops t = t.durable_ops
+
+let read_ops t = t.read_ops
+
+let file_size t name = (find_file t name).len
+
+let build_env files =
+  let env = Env.in_memory () in
+  List.iter
+    (fun (name, data) ->
+      let w = Env.create_file env name in
+      Env.append w ~category:Io_stats.Manifest data;
+      Env.close_writer w)
+    files;
+  Io_stats.reset (Env.stats env);
+  env
+
+let image t =
+  match t.captured with
+  | Some files -> build_env files
+  | None -> invalid_arg "Fault_env.image: no scripted crash has fired"
+
+let durable_image t =
+  build_env
+    (Hashtbl.fold
+       (fun name f acc -> (name, Bytes.sub_string f.data 0 f.synced) :: acc)
+       t.files [])
+
+let snapshot_env ?truncate t =
+  build_env
+    (Hashtbl.fold
+       (fun name f acc ->
+         let keep =
+           match truncate with
+           | Some (file, cut) when String.equal file name -> min cut f.len
+           | _ -> f.len
+         in
+         (name, Bytes.sub_string f.data 0 keep) :: acc)
+       t.files [])

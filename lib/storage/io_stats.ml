@@ -24,6 +24,8 @@ type t = {
   mutable manifest_r : int;
   mutable level_w : int array; (* writes into level i *)
   mutable level_r : int array; (* reads from level i *)
+  mutable syncs : int; (* durability barriers issued *)
+  mutable faults : int; (* injected faults (crashes, I/O errors, bit flips) *)
 }
 
 let create () =
@@ -41,6 +43,8 @@ let create () =
     manifest_r = 0;
     level_w = Array.make 8 0;
     level_r = Array.make 8 0;
+    syncs = 0;
+    faults = 0;
   }
 
 let ensure_level arr level =
@@ -80,6 +84,14 @@ let record_read t cat n =
   | Split -> t.split_r <- t.split_r + n
   | Read_path -> t.read_path_r <- t.read_path_r + n
   | Manifest -> t.manifest_r <- t.manifest_r + n
+
+let record_sync t = t.syncs <- t.syncs + 1
+
+let record_fault t = t.faults <- t.faults + 1
+
+let sync_count t = t.syncs
+
+let fault_count t = t.faults
 
 let sum = Array.fold_left ( + ) 0
 
@@ -143,6 +155,8 @@ let reset t =
   t.read_path_r <- 0;
   t.manifest_w <- 0;
   t.manifest_r <- 0;
+  t.syncs <- 0;
+  t.faults <- 0;
   Array.fill t.level_w 0 (Array.length t.level_w) 0;
   Array.fill t.level_r 0 (Array.length t.level_r) 0
 
@@ -174,4 +188,6 @@ let diff cur base =
     manifest_r = cur.manifest_r - base.manifest_r;
     level_w = sub_arrays cur.level_w base.level_w;
     level_r = sub_arrays cur.level_r base.level_r;
+    syncs = cur.syncs - base.syncs;
+    faults = cur.faults - base.faults;
   }

@@ -22,6 +22,18 @@ val record_write : t -> category -> int -> unit
 
 val record_read : t -> category -> int -> unit
 
+val record_sync : t -> unit
+(** Count one durability barrier ({!Env.sync} call). *)
+
+val record_fault : t -> unit
+(** Count one injected fault (crash, transient I/O error, or bit flip);
+    only fault-injection backends call this. *)
+
+val sync_count : t -> int
+(** Durability barriers issued — the denominator of fsync overhead. *)
+
+val fault_count : t -> int
+
 val bytes_written : t -> int
 (** Total device bytes written, across all categories except [User_write]
     (which counts logical user payload, not device traffic). *)

@@ -1,11 +1,15 @@
 (* Crash-injection tests: cut the device state at arbitrary points and
    verify recovery semantics — batches are atomic, the surviving set is a
-   prefix of the write order, and corruption never escapes as wrong data. *)
+   prefix of the write order, and corruption never escapes as wrong data.
+
+   Device images come from Fault_env.snapshot_env, which also handles the
+   degenerate cases the old hand-rolled copier crashed on (no WAL segment,
+   truncation target missing). *)
 
 module Config = Wipdb.Config
 module Store = Wipdb.Store
 module Env = Wip_storage.Env
-module Io_stats = Wip_storage.Io_stats
+module Fault_env = Wip_storage.Fault_env
 
 let wal_only_config =
   (* Memtables far larger than the test writes: everything lives in WAL. *)
@@ -13,41 +17,20 @@ let wal_only_config =
 
 let key b i = Printf.sprintf "b%03d-i%02d" b i
 
-(* Copy every file of [src] into a fresh env, truncating the newest WAL
-   segment to [cut] bytes — a power failure mid-append. *)
-let crashed_copy src ~cut =
-  let dst = Env.in_memory () in
-  let files = Env.list_files src in
-  let wal_segments =
-    List.filter (fun f -> Filename.check_suffix f ".log") files
-    |> List.sort String.compare
-  in
-  let last_wal = List.nth wal_segments (List.length wal_segments - 1) in
-  List.iter
-    (fun name ->
-      let r = Env.open_file src name in
-      let contents = Env.read_all r ~category:Io_stats.Manifest in
-      Env.close_reader r;
-      let contents =
-        if String.equal name last_wal then
-          String.sub contents 0 (min cut (String.length contents))
-        else contents
-      in
-      let w = Env.create_file dst name in
-      Env.append w ~category:Io_stats.Manifest contents;
-      Env.close_writer w)
-    files;
-  dst
-
-let build_env ~batches ~batch_size =
-  let env = Env.in_memory () in
-  let db = Store.create ~env wal_only_config in
+let build_fenv ~batches ~batch_size =
+  let fenv = Fault_env.create () in
+  let db = Store.create ~env:(Fault_env.env fenv) wal_only_config in
   for b = 0 to batches - 1 do
     Store.write_batch db
       (List.init batch_size (fun i ->
            (Wip_util.Ikey.Value, key b i, Printf.sprintf "v%d-%d" b i)))
   done;
-  env
+  fenv
+
+let wal_segments fenv =
+  Env.list_files (Fault_env.env fenv)
+  |> List.filter (fun f -> Filename.check_suffix f ".log")
+  |> List.sort String.compare
 
 let check_prefix_atomicity db ~batches ~batch_size =
   (* Find how many whole batches survived; then assert exact prefix
@@ -84,31 +67,24 @@ let check_prefix_atomicity db ~batches ~batch_size =
 
 let test_truncation_sweep () =
   let batches = 12 and batch_size = 5 in
-  let env = build_env ~batches ~batch_size in
+  let fenv = build_fenv ~batches ~batch_size in
   let wal =
-    Env.list_files env |> List.filter (fun f -> Filename.check_suffix f ".log")
-    |> function
+    match wal_segments fenv with
     | [ seg ] -> seg
     | _ -> Alcotest.fail "expected a single WAL segment"
   in
-  let r = Env.open_file env wal in
-  let total = Env.file_size r in
-  Env.close_reader r;
+  let total = Fault_env.file_size fenv wal in
   (* Cut at a spread of byte offsets, including record boundaries ±1. *)
   let rng = Wip_util.Rng.create ~seed:0xC4A5L in
   let cuts =
     0 :: 1 :: (total - 1) :: total
     :: List.init 24 (fun _ -> Wip_util.Rng.int rng (total + 1))
   in
-  let last_survivors = ref (-1) in
   List.iter
     (fun cut ->
-      let env' = crashed_copy env ~cut in
+      let env' = Fault_env.snapshot_env ~truncate:(wal, cut) fenv in
       let db = Store.recover ~env:env' wal_only_config in
       let survived = check_prefix_atomicity db ~batches ~batch_size in
-      (* More bytes can never mean fewer batches. *)
-      ignore !last_survivors;
-      last_survivors := survived;
       if cut = total && survived <> batches then
         Alcotest.failf "uncut log lost %d batches" (batches - survived);
       if cut = 0 && survived <> 0 then Alcotest.fail "empty log produced data")
@@ -116,35 +92,30 @@ let test_truncation_sweep () =
 
 let test_corruption_mid_log () =
   let batches = 8 and batch_size = 4 in
-  let env = build_env ~batches ~batch_size in
-  let wal =
-    Env.list_files env |> List.find (fun f -> Filename.check_suffix f ".log")
-  in
-  let r = Env.open_file env wal in
-  let contents = Env.read_all r ~category:Io_stats.Manifest in
-  Env.close_reader r;
-  (* Flip one byte somewhere in the middle: replay must stop at the damaged
+  let fenv = build_fenv ~batches ~batch_size in
+  let wal = List.hd (wal_segments fenv) in
+  (* Flip one bit somewhere in the middle: replay must stop at the damaged
      record, keeping an intact prefix and never inventing data. *)
-  let pos = String.length contents / 2 in
-  let b = Bytes.of_string contents in
-  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
-  let env' = Env.in_memory () in
-  List.iter
-    (fun name ->
-      let r = Env.open_file env name in
-      let c = Env.read_all r ~category:Io_stats.Manifest in
-      Env.close_reader r;
-      let c = if String.equal name wal then Bytes.to_string b else c in
-      let w = Env.create_file env' name in
-      Env.append w ~category:Io_stats.Manifest c;
-      Env.close_writer w)
-    (Env.list_files env);
-  let db = Store.recover ~env:env' wal_only_config in
+  let pos = Fault_env.file_size fenv wal / 2 in
+  Fault_env.flip_bit fenv ~file:wal ~bit:((pos * 8) + 6);
+  let db = Store.recover ~env:(Fault_env.snapshot_env fenv) wal_only_config in
   let survived = check_prefix_atomicity db ~batches ~batch_size in
   Alcotest.(check bool)
     (Printf.sprintf "some prefix survived (%d), not everything" survived)
     true
     (survived < batches)
+
+let test_snapshot_without_wal () =
+  (* Regression: imaging a device with no WAL segment must not fail (the old
+     copier indexed into an empty segment list), and a truncation aimed at a
+     file that does not exist is ignored. *)
+  let fenv = Fault_env.create () in
+  let env = Fault_env.env fenv in
+  let w = Env.create_file env "lone" in
+  Env.append w ~category:Wip_storage.Io_stats.Manifest "data";
+  Env.sync w;
+  let img = Fault_env.snapshot_env ~truncate:("absent.log", 0) fenv in
+  Alcotest.(check bool) "file copied" true (Env.exists img "lone")
 
 let test_crash_after_flush_loses_nothing () =
   (* Once data is flushed and the manifest recorded, even deleting the whole
@@ -171,5 +142,6 @@ let suite =
   [
     Alcotest.test_case "WAL truncation sweep" `Quick test_truncation_sweep;
     Alcotest.test_case "mid-log corruption" `Quick test_corruption_mid_log;
+    Alcotest.test_case "snapshot without WAL" `Quick test_snapshot_without_wal;
     Alcotest.test_case "crash after flush" `Quick test_crash_after_flush_loses_nothing;
   ]

@@ -1,0 +1,160 @@
+(* Unit tests for the deterministic fault-injection device (Fault_env):
+   crash images with synced-prefix semantics, torn writes, transient I/O
+   faults, bit-flip corruption, and the fault/sync counters. *)
+
+module Env = Wip_storage.Env
+module Fault_env = Wip_storage.Fault_env
+module Io_stats = Wip_storage.Io_stats
+
+let cat = Io_stats.Manifest
+
+let read_file env name =
+  let r = Env.open_file env name in
+  let c = Env.read_all r ~category:cat in
+  Env.close_reader r;
+  c
+
+let test_crash_drops_unsynced_tail () =
+  let fenv = Fault_env.create () in
+  let env = Fault_env.env fenv in
+  let w = Env.create_file env "a" in
+  Env.append w ~category:cat "hello" (* op 1 *);
+  Env.sync w (* op 2 *);
+  Env.append w ~category:cat "world" (* op 3 *);
+  Fault_env.crash_at fenv ~op:4 ();
+  (match Env.sync w with
+  | () -> Alcotest.fail "scheduled crash did not fire"
+  | exception Fault_env.Crashed -> ());
+  let image = Fault_env.image fenv in
+  Alcotest.(check string) "only the synced prefix survives" "hello"
+    (read_file image "a");
+  (* The live (pre-crash) state still holds everything. *)
+  Alcotest.(check int) "buffered size" 10 (Fault_env.file_size fenv "a")
+
+let test_torn_append () =
+  let fenv = Fault_env.create () in
+  let env = Fault_env.env fenv in
+  let w = Env.create_file env "a" in
+  Env.append w ~category:cat "base";
+  Env.sync w;
+  Fault_env.crash_at fenv ~op:3 ~torn:2 ();
+  (match Env.append w ~category:cat "XYZW" with
+  | () -> Alcotest.fail "scheduled crash did not fire"
+  | exception Fault_env.Crashed -> ());
+  Alcotest.(check string) "two torn bytes beyond the synced prefix" "baseXY"
+    (read_file (Fault_env.image fenv) "a")
+
+let test_crash_image_spans_files () =
+  let fenv = Fault_env.create () in
+  let env = Fault_env.env fenv in
+  let wa = Env.create_file env "a" in
+  Env.append wa ~category:cat "aaaa" (* 1 *);
+  Env.sync wa (* 2 *);
+  let wb = Env.create_file env "b" in
+  Env.append wb ~category:cat "bb" (* 3 *);
+  Fault_env.crash_at fenv ~op:4 ();
+  (match Env.append wb ~category:cat "cc" with
+  | () -> Alcotest.fail "scheduled crash did not fire"
+  | exception Fault_env.Crashed -> ());
+  let image = Fault_env.image fenv in
+  Alcotest.(check string) "synced file intact" "aaaa" (read_file image "a");
+  Alcotest.(check string) "unsynced file empty" "" (read_file image "b")
+
+let test_write_fault_is_transient () =
+  let fenv = Fault_env.create () in
+  let env = Fault_env.env fenv in
+  let w = Env.create_file env "a" in
+  Fault_env.fail_write_at fenv ~op:1;
+  (match Env.append w ~category:cat "x" with
+  | () -> Alcotest.fail "scheduled fault did not fire"
+  | exception Env.Io_fault { op = "append"; file = "a" } -> ());
+  (* The failed op had no effect; retrying is legal and succeeds. *)
+  Env.append w ~category:cat "x";
+  Env.sync w;
+  Alcotest.(check int) "exactly one byte landed" 1 (Fault_env.file_size fenv "a");
+  Alcotest.(check int) "fault counted" 1 (Io_stats.fault_count (Env.stats env))
+
+let test_read_fault_is_transient () =
+  let fenv = Fault_env.create () in
+  let env = Fault_env.env fenv in
+  let w = Env.create_file env "a" in
+  Env.append w ~category:cat "hello";
+  Env.sync w;
+  Env.close_writer w;
+  Fault_env.fail_read_at fenv ~op:1;
+  let r = Env.open_file env "a" in
+  (match Env.read r ~category:cat ~pos:0 ~len:5 with
+  | _ -> Alcotest.fail "scheduled read fault did not fire"
+  | exception Env.Io_fault { op = "read"; file = "a" } -> ());
+  Alcotest.(check string) "retry succeeds" "hello"
+    (Env.read r ~category:cat ~pos:0 ~len:5);
+  Env.close_reader r
+
+let test_flip_bit () =
+  let fenv = Fault_env.create () in
+  let env = Fault_env.env fenv in
+  let w = Env.create_file env "a" in
+  Env.append w ~category:cat "A" (* 0x41 *);
+  Env.sync w;
+  Fault_env.flip_bit fenv ~file:"a" ~bit:1;
+  Alcotest.(check string) "bit 1 flipped: 0x41 -> 0x43" "C" (read_file env "a");
+  Alcotest.(check int) "corruption counted as a fault" 1
+    (Io_stats.fault_count (Env.stats env));
+  (match Fault_env.flip_bit fenv ~file:"a" ~bit:800 with
+  | () -> Alcotest.fail "out-of-range flip accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_durable_and_snapshot_images () =
+  let fenv = Fault_env.create () in
+  let env = Fault_env.env fenv in
+  let w = Env.create_file env "a" in
+  Env.append w ~category:cat "hello";
+  Env.sync w;
+  Env.append w ~category:cat "tail";
+  Alcotest.(check string) "durable image cuts the unsynced tail" "hello"
+    (read_file (Fault_env.durable_image fenv) "a");
+  Alcotest.(check string) "snapshot keeps buffered bytes" "hellotail"
+    (read_file (Fault_env.snapshot_env fenv) "a");
+  Alcotest.(check string) "snapshot with truncation" "hellota"
+    (read_file (Fault_env.snapshot_env ~truncate:("a", 7) fenv) "a");
+  (* Truncating a file that does not exist is silently ignored. *)
+  Alcotest.(check string) "missing truncate target ignored" "hellotail"
+    (read_file (Fault_env.snapshot_env ~truncate:("nope", 3) fenv) "a")
+
+let test_deletes_are_durable () =
+  let fenv = Fault_env.create () in
+  let env = Fault_env.env fenv in
+  let w = Env.create_file env "a" in
+  Env.append w ~category:cat "x";
+  Env.sync w;
+  Env.delete env "a";
+  Alcotest.(check bool) "deleted from the durable view too" false
+    (Env.exists (Fault_env.durable_image fenv) "a")
+
+let test_sync_counter () =
+  let env = Env.in_memory () in
+  let w = Env.create_file env "a" in
+  Env.sync w;
+  Env.sync w;
+  Alcotest.(check int) "sync_count" 2 (Io_stats.sync_count (Env.stats env));
+  Io_stats.reset (Env.stats env);
+  Alcotest.(check int) "reset clears syncs" 0
+    (Io_stats.sync_count (Env.stats env))
+
+let suite =
+  [
+    Alcotest.test_case "crash drops unsynced tail" `Quick
+      test_crash_drops_unsynced_tail;
+    Alcotest.test_case "torn append" `Quick test_torn_append;
+    Alcotest.test_case "crash image spans files" `Quick
+      test_crash_image_spans_files;
+    Alcotest.test_case "write fault is transient" `Quick
+      test_write_fault_is_transient;
+    Alcotest.test_case "read fault is transient" `Quick
+      test_read_fault_is_transient;
+    Alcotest.test_case "flip bit" `Quick test_flip_bit;
+    Alcotest.test_case "durable and snapshot images" `Quick
+      test_durable_and_snapshot_images;
+    Alcotest.test_case "deletes are durable" `Quick test_deletes_are_durable;
+    Alcotest.test_case "sync counter" `Quick test_sync_counter;
+  ]

@@ -18,5 +18,7 @@ let () =
       ("iterator", Test_iterator.suite);
       ("concurrent", Test_concurrent.suite);
       ("crash", Test_crash.suite);
+      ("crash-matrix", Test_crash_matrix.suite);
+      ("fault", Test_fault.suite);
       ("properties", Test_properties.suite);
     ]

@@ -148,6 +148,62 @@ let qcheck_wa_bound_random_configs =
       (* 1.4x allowance for format framing + manifest (see test_wipdb). *)
       wa <= Wipdb.Config.wa_upper_bound cfg *. 1.4)
 
+(* A single flipped bit anywhere on the device — sstable, WAL or manifest —
+   must never surface as a wrong value. Checksums turn it into a typed
+   [Env.Corruption] (or a clean loss of the damaged suffix); silent
+   misreads are the one unacceptable outcome. *)
+let qcheck_bit_flip_never_wrong =
+  QCheck.Test.make ~name:"single bit flip never yields a wrong value" ~count:25
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (file_pick, bit_pick) ->
+      let module Fault_env = Wip_storage.Fault_env in
+      let cfg =
+        {
+          Wipdb.Config.default with
+          Wipdb.Config.name = "flip";
+          memtable_items = 8;
+          l_max = 2;
+          t_sublevels = 2;
+          split_fanout = 2;
+          min_count = 2;
+          max_count = 2;
+          initial_buckets = 1;
+          adaptive_memtable = false;
+          wal_segment_bytes = 1024;
+          bucket_merge_bytes = 0;
+          block_cache_bytes = 0;
+        }
+      in
+      let keys = 80 in
+      let value i = Printf.sprintf "val-%d" i in
+      let fenv = Fault_env.create () in
+      let db = Wipdb.Store.create ~env:(Fault_env.env fenv) cfg in
+      for i = 0 to keys - 1 do
+        Wipdb.Store.put db ~key:(Printf.sprintf "%03d" i) ~value:(value i)
+      done;
+      Wipdb.Store.checkpoint db;
+      let files =
+        Env.list_files (Fault_env.env fenv)
+        |> List.filter (fun f -> Fault_env.file_size fenv f > 0)
+        |> List.sort String.compare
+      in
+      let file = List.nth files (file_pick mod List.length files) in
+      Fault_env.flip_bit fenv ~file
+        ~bit:(bit_pick mod (8 * Fault_env.file_size fenv file));
+      (* Corruption may be detected at recovery (manifest/WAL damage) or at
+         read time (sstable damage); it may lose data; it must never lie. *)
+      match Wipdb.Store.recover ~env:(Fault_env.snapshot_env fenv) cfg with
+      | exception (Env.Corruption _ | Not_found) -> true
+      | db2 ->
+        let ok = ref true in
+        for i = 0 to keys - 1 do
+          match Wipdb.Store.get db2 (Printf.sprintf "%03d" i) with
+          | Some v -> if not (String.equal v (value i)) then ok := false
+          | None -> () (* loss of the damaged suffix is legal *)
+          | exception (Env.Corruption _ | Not_found) -> ()
+        done;
+        !ok)
+
 (* Recovery is an identity on reads, regardless of where writes stopped. *)
 let qcheck_leveled_recovery =
   QCheck.Test.make ~name:"leveled recovery preserves live keys" ~count:10
@@ -189,5 +245,6 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_distribution_bounds;
     QCheck_alcotest.to_alcotest qcheck_io_stats_diff;
     QCheck_alcotest.to_alcotest qcheck_wa_bound_random_configs;
+    QCheck_alcotest.to_alcotest qcheck_bit_flip_never_wrong;
     QCheck_alcotest.to_alcotest qcheck_leveled_recovery;
   ]

@@ -200,7 +200,7 @@ let test_table_corruption_detection () =
      Table.Reader.get reader ~category:Io_stats.Read_path "0000"
        ~snapshot:Int64.max_int
    with
-  | exception Invalid_argument _ -> ()
+  | exception Env.Corruption { file = "t5"; _ } -> ()
   | _ -> Alcotest.fail "corrupt block read succeeded");
   Table.Reader.close reader
 
