@@ -22,6 +22,8 @@ let experiments =
     ("fig11", "file-size histograms", fun ~ops -> Fig11.run ~ops);
     ("ablation", "WA bound and scheduling-window sweeps", fun ~ops ->
       Ablation.run ~ops);
+    ("mt", "sharded front-end scaling, 1..8 foreground threads", fun ~ops ->
+      Mt.run ~ops);
   ]
 
 let default_ops =
@@ -35,6 +37,7 @@ let default_ops =
     ("fig10", 30_000);
     ("fig11", 60_000);
     ("ablation", 40_000);
+    ("mt", 40_000);
   ]
 
 let usage () =

@@ -1,68 +1,30 @@
+(* The single-shard special case of Sharded_store: same API as the old
+   global-mutex wrapper, now backed by the sharded front so there is exactly
+   one locking implementation to reason about. *)
 module Make (S : Wip_kv.Store_intf.S) = struct
-  type t = {
-    store : S.t;
-    lock : Mutex.t;
-    budget : int;
-    idle_sleep : float;
-    mutable stopping : bool;
-    mutable cycles : int;
-    mutable thread : Thread.t option;
-  }
+  module Sharded = Sharded_store.Make (S)
 
-  let locked t f =
-    Mutex.lock t.lock;
-    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> f t.store)
-
-  let compactor t () =
-    while not t.stopping do
-      let worked =
-        locked t (fun store ->
-            let stats = S.io_stats store in
-            let before = Wip_storage.Io_stats.bytes_written stats in
-            S.maintenance store ~budget_bytes:t.budget ();
-            Wip_storage.Io_stats.bytes_written stats > before)
-      in
-      if worked then t.cycles <- t.cycles + 1;
-      (* Let foreground threads in; sleep longer when idle. *)
-      Thread.delay (if worked then t.idle_sleep else t.idle_sleep *. 10.0)
-    done
+  type t = Sharded.t
 
   let create ?(budget_per_cycle = 1024 * 1024) ?(idle_sleep = 0.001) store =
-    let t =
-      {
-        store;
-        lock = Mutex.create ();
-        budget = budget_per_cycle;
-        idle_sleep;
-        stopping = false;
-        cycles = 0;
-        thread = None;
-      }
-    in
-    t.thread <- Some (Thread.create (compactor t) ());
-    t
+    Sharded.create ~pool_threads:1 ~budget_per_cycle ~idle_sleep
+      [ ("", store) ]
 
-  let put t ~key ~value = locked t (fun s -> S.put s ~key ~value)
+  let put = Sharded.put
 
-  let write_batch t items = locked t (fun s -> S.write_batch s items)
+  let write_batch = Sharded.write_batch
 
-  let delete t ~key = locked t (fun s -> S.delete s ~key)
+  let delete = Sharded.delete
 
-  let get t key = locked t (fun s -> S.get s key)
+  let get = Sharded.get
 
-  let scan t ~lo ~hi ?limit () = locked t (fun s -> S.scan s ~lo ~hi ?limit ())
+  let scan = Sharded.scan
 
-  let flush t = locked t S.flush
+  let flush = Sharded.flush
 
-  let with_store t f = locked t f
+  let with_store t f = Sharded.with_shard t ~key:"" f
 
-  let compaction_cycles t = t.cycles
+  let compaction_cycles = Sharded.compaction_cycles
 
-  let stop t =
-    if not t.stopping then begin
-      t.stopping <- true;
-      (match t.thread with Some th -> Thread.join th | None -> ());
-      t.thread <- None;
-      locked t (fun s -> S.maintenance s ())
-    end
+  let stop = Sharded.stop
 end

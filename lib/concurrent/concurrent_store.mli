@@ -1,10 +1,11 @@
 (** Thread-safe store front with background compaction.
 
-    Wraps any engine implementing {!Wip_kv.Store_intf.S} behind a mutex and
-    runs a dedicated compaction thread, so foreground writes return after
-    the WAL append + MemTable insert and merge-sorting happens off the
-    critical path — the deployment model the paper assumes (7 background
-    compaction threads in §IV-A).
+    The single-shard special case of {!Sharded_store}: wraps one engine
+    implementing {!Wip_kv.Store_intf.S} behind a lock and runs a one-worker
+    compaction pool, so foreground writes return after the WAL append +
+    MemTable insert and merge-sorting happens off the critical path. Use
+    {!Sharded_store} directly for parallel foreground traffic and the full
+    pool (the paper's 7 background compaction threads, §IV-A).
 
     For the compactor to have work to steal, configure the wrapped engine
     so its write path does not compact inline (for WipDB:
@@ -16,7 +17,7 @@ module Make (S : Wip_kv.Store_intf.S) : sig
   type t
 
   val create : ?budget_per_cycle:int -> ?idle_sleep:float -> S.t -> t
-  (** Starts the compaction thread. Each cycle takes the store lock, runs
+  (** Starts the compaction worker. Each cycle takes the store lock, runs
       maintenance bounded by [budget_per_cycle] bytes (default 1 MiB), then
       sleeps [idle_sleep] seconds (default 1 ms) so foreground threads can
       interleave. *)

@@ -1,0 +1,253 @@
+module Ikey = Wip_util.Ikey
+module Merge_iter = Wip_sstable.Merge_iter
+
+module Make (S : Wip_kv.Store_intf.S) = struct
+  type shard = {
+    lo : string; (* inclusive lower key bound; "" for the first shard *)
+    store : S.t;
+    lock : Mutex.t;
+    mutable claimed : bool; (* held by a pool worker; guarded by pool_lock *)
+  }
+
+  type t = {
+    shards : shard array; (* sorted by lo *)
+    budget : int;
+    idle_sleep : float;
+    stopping : bool Atomic.t;
+    cycles : int Atomic.t;
+    pool_lock : Mutex.t;
+    mutable workers : unit Domain.t list;
+  }
+
+  let shard_count t = Array.length t.shards
+
+  let pool_size t = List.length t.workers
+
+  let compaction_cycles t = Atomic.get t.cycles
+
+  let locked_shard sh f =
+    Mutex.lock sh.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock sh.lock) (fun () -> f sh.store)
+
+  (* Rightmost shard whose lower bound <= key (same rule as the engine's own
+     bucket directory). *)
+  let shard_index t key =
+    let arr = t.shards in
+    let rec bs lo hi =
+      if hi - lo <= 1 then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if String.compare arr.(mid).lo key <= 0 then bs mid hi else bs lo mid
+    in
+    bs 0 (Array.length arr)
+
+  (* ---------------------------------------------------------------- *)
+  (* Compaction pool: workers pull per-shard maintenance work, always
+     serving the shard with the largest pending-work estimate that no other
+     worker holds. The estimate is read WITHOUT the shard lock (the
+     Store_intf.maintenance_pending contract) so scanning never stalls
+     behind foreground traffic; staleness only misprioritizes a cycle. *)
+
+  let claim_shard t =
+    Mutex.lock t.pool_lock;
+    let best = ref None in
+    Array.iter
+      (fun sh ->
+        if not sh.claimed then begin
+          let p = S.maintenance_pending sh.store in
+          if p > 0 then
+            match !best with
+            | Some (_, bp) when bp >= p -> ()
+            | _ -> best := Some (sh, p)
+        end)
+      t.shards;
+    (match !best with Some (sh, _) -> sh.claimed <- true | None -> ());
+    Mutex.unlock t.pool_lock;
+    Option.map fst !best
+
+  let release_shard t sh =
+    Mutex.lock t.pool_lock;
+    sh.claimed <- false;
+    Mutex.unlock t.pool_lock
+
+  let worker t () =
+    while not (Atomic.get t.stopping) do
+      match claim_shard t with
+      | Some sh ->
+        Fun.protect
+          ~finally:(fun () -> release_shard t sh)
+          (fun () ->
+            (* Engines only raise on injected faults; the pool is not meant
+               to drive fault-injection envs, so a failed cycle is dropped
+               rather than taking the whole pool down. *)
+            try locked_shard sh (fun s -> S.maintenance s ~budget_bytes:t.budget ())
+            with _ -> ());
+        Atomic.incr t.cycles;
+        (* Yield so foreground threads can take the shard lock. *)
+        Unix.sleepf t.idle_sleep
+      | None -> Unix.sleepf (t.idle_sleep *. 10.0)
+    done
+
+  (* ---------------------------------------------------------------- *)
+  (* Lifecycle *)
+
+  let maintenance t ?budget_bytes () =
+    Array.iter
+      (fun sh -> locked_shard sh (fun s -> S.maintenance s ?budget_bytes ()))
+      t.shards
+
+  let stop t =
+    if not (Atomic.exchange t.stopping true) then begin
+      List.iter Domain.join t.workers;
+      t.workers <- [];
+      (* Drain to quiescence so post-stop reads see fully-compacted state. *)
+      maintenance t ()
+    end
+
+  let create ?(pool_threads = 7) ?(budget_per_cycle = 1024 * 1024)
+      ?(idle_sleep = 0.001) shards =
+    (match shards with
+    | [] -> invalid_arg "Sharded_store.create: at least one shard"
+    | (lo0, _) :: _ ->
+      if lo0 <> "" then
+        invalid_arg "Sharded_store.create: first shard's lower bound must be \"\"");
+    let rec check_sorted = function
+      | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.compare a b >= 0 then
+          invalid_arg
+            "Sharded_store.create: shard lower bounds must be strictly increasing";
+        check_sorted rest
+      | _ -> ()
+    in
+    check_sorted shards;
+    let t =
+      {
+        shards =
+          Array.of_list
+            (List.map
+               (fun (lo, store) ->
+                 { lo; store; lock = Mutex.create (); claimed = false })
+               shards);
+        budget = budget_per_cycle;
+        idle_sleep;
+        stopping = Atomic.make false;
+        cycles = Atomic.make 0;
+        pool_lock = Mutex.create ();
+        workers = [];
+      }
+    in
+    t.workers <- List.init (max 0 pool_threads) (fun _ -> Domain.spawn (worker t));
+    (* A pool left running at process exit would keep the program alive;
+       tests and benches that fail mid-flight still shut down cleanly. *)
+    if t.workers <> [] then at_exit (fun () -> stop t);
+    t
+
+  (* ---------------------------------------------------------------- *)
+  (* Single-shard operations *)
+
+  let put t ~key ~value =
+    locked_shard t.shards.(shard_index t key) (fun s -> S.put s ~key ~value)
+
+  let delete t ~key =
+    locked_shard t.shards.(shard_index t key) (fun s -> S.delete s ~key)
+
+  let get t key = locked_shard t.shards.(shard_index t key) (fun s -> S.get s key)
+
+  let with_shard t ~key f = locked_shard t.shards.(shard_index t key) f
+
+  let fold_shards t ~init ~f =
+    Array.fold_left (fun acc sh -> locked_shard sh (f acc)) init t.shards
+
+  let maintenance_pending t =
+    Array.fold_left
+      (fun acc sh -> acc + S.maintenance_pending sh.store)
+      0 t.shards
+
+  let flush t = Array.iter (fun sh -> locked_shard sh S.flush) t.shards
+
+  (* ---------------------------------------------------------------- *)
+  (* Cross-shard operations. Whenever more than one shard lock is needed,
+     locks are taken in ascending shard order — one canonical order across
+     all writers, readers and pool workers (which take a single lock), so no
+     lock cycle can form. *)
+
+  let lock_range t i0 i1 f =
+    for i = i0 to i1 do
+      Mutex.lock t.shards.(i).lock
+    done;
+    Fun.protect
+      ~finally:(fun () ->
+        for i = i1 downto i0 do
+          Mutex.unlock t.shards.(i).lock
+        done)
+      f
+
+  let write_batch t items =
+    if items <> [] then begin
+      let n = Array.length t.shards in
+      let groups = Array.make n [] in
+      List.iter
+        (fun ((_, key, _) as item) ->
+          let i = shard_index t key in
+          groups.(i) <- item :: groups.(i))
+        items;
+      let touched = ref [] in
+      for i = n - 1 downto 0 do
+        if groups.(i) <> [] then begin
+          groups.(i) <- List.rev groups.(i);
+          touched := i :: !touched
+        end
+      done;
+      match !touched with
+      | [] -> ()
+      | [ i ] -> locked_shard t.shards.(i) (fun s -> S.write_batch s groups.(i))
+      | is ->
+        (* The batch is atomic per shard (each sub-batch is one WAL record
+           in its shard's engine) and isolated across shards: all involved
+           locks are held for the whole application, so no reader observes
+           a half-applied batch. *)
+        let i0 = List.hd is and i1 = List.nth is (List.length is - 1) in
+        lock_range t i0 i1 (fun () ->
+            List.iter (fun i -> S.write_batch t.shards.(i).store groups.(i)) is)
+    end
+
+  let scan t ~lo ~hi ?limit () =
+    if String.compare lo hi >= 0 then []
+    else begin
+      let n = Array.length t.shards in
+      let i0 = shard_index t lo in
+      let rec last j =
+        if j + 1 < n && String.compare t.shards.(j + 1).lo hi < 0 then
+          last (j + 1)
+        else j
+      in
+      let i1 = last i0 in
+      (* Collect every shard's result while holding all overlapping locks:
+         a consistent cut — the merged result corresponds to one point in
+         time across shards, as if taken under a global snapshot. *)
+      let per_shard =
+        lock_range t i0 i1 (fun () ->
+            List.init (i1 - i0 + 1) (fun k ->
+                S.scan t.shards.(i0 + k).store ~lo ~hi ?limit ()))
+      in
+      (* Shard ranges are disjoint, so this is morally a concatenation, but
+         routing the streams through Merge_iter keeps the result sorted and
+         deduplicated even if a caller hands in shards whose ranges overlap
+         the engine's own boundaries imperfectly. *)
+      let seqs =
+        List.map
+          (fun items ->
+            List.to_seq items
+            |> Seq.map (fun (k, v) -> (Ikey.make ~kind:Ikey.Value k ~seq:0L, v)))
+          per_shard
+      in
+      let merged =
+        Merge_iter.merge seqs
+        |> Seq.map (fun ((ik : Ikey.t), v) -> (ik.Ikey.user_key, v))
+      in
+      let merged =
+        match limit with Some l -> Seq.take l merged | None -> merged
+      in
+      List.of_seq merged
+    end
+end

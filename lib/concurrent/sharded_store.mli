@@ -1,0 +1,89 @@
+(** Sharded concurrent store front with a parallel compaction pool.
+
+    The key space is partitioned into contiguous shards, each owning an
+    independent engine instance and its own lock, so puts/gets/deletes to
+    different shards proceed in parallel — the deployment model the paper
+    assumes (§IV-A runs 7 background compaction threads against many
+    independent buckets). Align shard boundaries with engine bucket
+    boundaries via {!Wipdb.Config.shard_boundaries} (or any strictly
+    increasing partition starting at [""]).
+
+    Concurrency model:
+
+    - every operation on one shard holds that shard's mutex;
+    - cross-shard [write_batch] and [scan] take the locks of all involved
+      shards in ascending shard order — the single canonical order used
+      everywhere, so no lock cycle can form. A multi-shard batch is atomic
+      per shard and isolated across shards (all locks are held while it
+      applies); a multi-shard scan is collected entirely under the locks,
+      yielding a consistent cut merged through {!Wip_sstable.Merge_iter};
+    - a pool of [pool_threads] worker domains (default 7, §IV-A) pulls
+      per-shard maintenance work, each cycle serving the unclaimed shard
+      with the largest {!Wip_kv.Store_intf.S.maintenance_pending} estimate
+      under a per-cycle byte budget.
+
+    For the pool to have work to steal, configure the wrapped engines so
+    their write path does not compact inline (for WipDB:
+    [compaction_budget_per_batch = 0]; mandatory splits/over-limit
+    compactions still run in the writer to bound sublevel counts). *)
+
+module Make (S : Wip_kv.Store_intf.S) : sig
+  type t
+
+  val create :
+    ?pool_threads:int ->
+    ?budget_per_cycle:int ->
+    ?idle_sleep:float ->
+    (string * S.t) list ->
+    t
+  (** [create shards] starts the compaction pool over [(lower_bound, store)]
+      shards. The first lower bound must be [""] and bounds must be strictly
+      increasing; each store must only ever be reached through this wrapper.
+      [pool_threads] (default 7) sizes the pool ([0] disables background
+      work); each worker cycle runs maintenance on one shard bounded by
+      [budget_per_cycle] bytes (default 1 MiB) and then yields for
+      [idle_sleep] seconds (default 1 ms).
+      @raise Invalid_argument on an invalid shard partition. *)
+
+  val put : t -> key:string -> value:string -> unit
+
+  val write_batch : t -> (Wip_util.Ikey.kind * string * string) list -> unit
+  (** Items are routed to their shards; locks are acquired in canonical
+      ascending order and held until every sub-batch has applied. *)
+
+  val delete : t -> key:string -> unit
+
+  val get : t -> string -> string option
+
+  val scan :
+    t -> lo:string -> hi:string -> ?limit:int -> unit -> (string * string) list
+  (** Merged across all shards overlapping [\[lo, hi)]; collected under all
+      of their locks, so the result is a consistent multi-shard cut. *)
+
+  val flush : t -> unit
+
+  val maintenance : t -> ?budget_bytes:int -> unit -> unit
+  (** Foreground maintenance over every shard (in addition to the pool). *)
+
+  val maintenance_pending : t -> int
+  (** Sum of the per-shard advisory estimates (racy read, like the pool's). *)
+
+  val with_shard : t -> key:string -> (S.t -> 'a) -> 'a
+  (** Run [f] on the shard owning [key] while holding its lock — for
+      engine-specific calls (snapshots, stats, introspection). *)
+
+  val fold_shards : t -> init:'a -> f:('a -> S.t -> 'a) -> 'a
+  (** Fold over all shards in key order, locking each in turn (not a
+      consistent cut across shards — use for monitoring/aggregation). *)
+
+  val shard_count : t -> int
+
+  val pool_size : t -> int
+
+  val compaction_cycles : t -> int
+  (** Pool cycles that claimed a shard and ran maintenance on it. *)
+
+  val stop : t -> unit
+  (** Stop and join the pool, then run maintenance to quiescence on every
+      shard. Idempotent; also invoked from [at_exit] as a safety net. *)
+end

@@ -70,6 +70,20 @@ let validate t =
   else if t.read_weight < 0.0 then err "read_weight must be >= 0"
   else Ok ()
 
+(* Boundary j of n sits at j/n of the numeric key space, formatted exactly
+   like bootstrap bucket boundaries — so when [n] divides [initial_buckets]
+   every shard boundary coincides with an engine bucket boundary and a shard
+   never straddles a bucket. *)
+let shard_boundaries t ~shards =
+  if shards < 1 then invalid_arg "Config.shard_boundaries: shards must be >= 1";
+  List.init shards (fun i ->
+      if i = 0 then ""
+      else
+        Printf.sprintf "%016Ld"
+          (Int64.div
+             (Int64.mul t.initial_key_space (Int64.of_int i))
+             (Int64.of_int shards)))
+
 let effective_bucket_capacity t =
   if t.bucket_capacity_bytes > 0 then t.bucket_capacity_bytes
   else t.l_max * t.t_sublevels * t.memtable_bytes

@@ -65,6 +65,13 @@ val scaled : scale:int -> t
 
 val validate : t -> (unit, string) result
 
+val shard_boundaries : t -> shards:int -> string list
+(** Lower bounds (first is [""]) partitioning the numeric key space into
+    [shards] contiguous ranges, placed by the same rule as the initial
+    bucket boundaries — so a sharded front's ranges align with engine
+    bucket boundaries whenever [shards] divides [initial_buckets].
+    @raise Invalid_argument when [shards < 1]. *)
+
 val effective_bucket_capacity : t -> int
 (** [bucket_capacity_bytes] when positive, else the derived
     [l_max * t_sublevels * memtable_bytes]. *)

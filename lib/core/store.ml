@@ -82,23 +82,18 @@ let manifest_name cfg = cfg.Config.name ^ "-manifest"
    bootstrap itself again. *)
 let bootstrap_buckets t =
   let cfg = t.cfg in
-  let n = cfg.Config.initial_buckets in
+  let los =
+    Config.shard_boundaries cfg ~shards:cfg.Config.initial_buckets
+    |> Array.of_list
+  in
   let buckets =
-    Array.init n (fun i ->
-        let lo =
-          if i = 0 then ""
-          else
-            let pos =
-              Int64.div
-                (Int64.mul cfg.Config.initial_key_space (Int64.of_int i))
-                (Int64.of_int n)
-            in
-            Printf.sprintf "%016Ld" pos
-        in
+    Array.map
+      (fun lo ->
         let id = t.next_bucket_id in
         t.next_bucket_id <- id + 1;
         Manifest.append t.manifest (Manifest.Add_bucket { id; lo });
         make_bucket t ~id ~lo ~structure:cfg.Config.memtable_structure)
+      los
   in
   t.buckets <- buckets
 
@@ -633,6 +628,27 @@ let collapse_last_level t bucket =
     List.iter (drop_table t) inputs
   end
 
+(* Advisory pending-work estimate for the compaction pool's shard scheduler
+   (Store_intf contract: read without the shard lock, so this must tolerate
+   concurrent mutation and write nothing). Counts the bytes a split would
+   rewrite plus the input bytes of every compaction-eligible level. *)
+let maintenance_pending t =
+  let pending = ref 0 in
+  Array.iter
+    (fun b ->
+      if needs_split t b then pending := !pending + bucket_bytes b;
+      for level = 0 to t.cfg.Config.l_max - 2 do
+        let subs = b.levels.(level) in
+        if List.length subs >= t.cfg.Config.min_count then
+          pending :=
+            !pending
+            + List.fold_left
+                (fun acc (m : Table.meta) -> acc + m.Table.size)
+                0 subs
+      done)
+    t.buckets;
+  !pending
+
 let mandatory_work t =
   (* Splits and over-limit levels run regardless of budget. *)
   let progress = ref false in
@@ -1064,6 +1080,9 @@ type bucket_info = {
   sublevels_per_level : int list;
   bytes : int;
 }
+
+let bucket_boundaries t =
+  Array.to_list t.buckets |> List.map (fun (b : bucket) -> b.lo)
 
 let bucket_infos t =
   Array.to_list t.buckets

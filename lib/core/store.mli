@@ -54,6 +54,11 @@ type bucket_info = {
 
 val bucket_infos : t -> bucket_info list
 
+val bucket_boundaries : t -> string list
+(** Current bucket lower bounds in key order (first is [""]) — the hook a
+    sharded front uses to align shard ranges with bucket boundaries; see
+    {!Config.shard_boundaries} for the initial placement rule. *)
+
 val bucket_count : t -> int
 
 val split_count : t -> int

@@ -413,6 +413,27 @@ let pick_compaction t =
     match !best with Some (l, s, _) -> Some (`Span (l, s)) | None -> None
   end
 
+(* Advisory estimate for the compaction pool (may be read without external
+   synchronization): input bytes of L0 and of every over-full guard span. *)
+let maintenance_pending t =
+  let frag_bytes =
+    List.fold_left (fun acc (m : Table.meta) -> acc + m.Table.size) 0
+  in
+  let pending =
+    ref
+      (if List.length t.l0 >= t.cfg.max_files_per_guard then
+         max 1 (frag_bytes t.l0)
+       else 0)
+  in
+  for level = 1 to t.cfg.max_levels - 2 do
+    List.iter
+      (fun span ->
+        if List.length span.fragments >= t.cfg.max_files_per_guard then
+          pending := !pending + max 1 (frag_bytes span.fragments))
+      t.levels.(level).spans
+  done;
+  !pending
+
 let maintenance t ?budget_bytes () =
   let budget = ref (match budget_bytes with Some b -> b | None -> max_int) in
   let rec loop () =

@@ -24,6 +24,13 @@ module type S = sig
   (** Run pending background work (compactions). [budget_bytes] bounds the
       amount of compaction I/O performed; omit it to run to quiescence. *)
 
+  val maintenance_pending : t -> int
+  (** Estimated bytes of background work {!maintenance} would perform right
+      now; 0 when quiescent. Advisory: the compaction pool reads it without
+      the owning shard's lock to prioritize shards, so implementations must
+      tolerate concurrent mutation (stale or approximate answers are fine,
+      crashes are not) and must not write any state. *)
+
   val env : t -> Wip_storage.Env.t
 
   val io_stats : t -> Wip_storage.Io_stats.t
@@ -49,6 +56,8 @@ let flush (Store ((module M), t)) = M.flush t
 
 let maintenance (Store ((module M), t)) ?budget_bytes () =
   M.maintenance t ?budget_bytes ()
+
+let maintenance_pending (Store ((module M), t)) = M.maintenance_pending t
 
 let env (Store ((module M), t)) = M.env t
 let io_stats (Store ((module M), t)) = M.io_stats t

@@ -310,6 +310,16 @@ let pick_compaction t =
   done;
   !best
 
+(* Advisory estimate for the compaction pool (may be read without external
+   synchronization): input bytes of every level whose score crossed 1.0. *)
+let maintenance_pending t =
+  let pending = ref 0 in
+  for level = 0 to t.cfg.max_levels - 2 do
+    if compaction_score t level >= 1.0 then
+      pending := !pending + max 1 (level_bytes t level)
+  done;
+  !pending
+
 let maintenance t ?budget_bytes () =
   let budget = ref (match budget_bytes with Some b -> b | None -> max_int) in
   let rec loop () =

@@ -3,6 +3,7 @@ let sub_buckets = 16
 let bucket_count = 64 * sub_buckets
 
 type t = {
+  lock : Mutex.t;
   buckets : int array;
   mutable total : int;
   mutable sum : float;
@@ -12,12 +13,17 @@ type t = {
 
 let create () =
   {
+    lock = Mutex.create ();
     buckets = Array.make bucket_count 0;
     total = 0;
     sum = 0.0;
     minimum = infinity;
     maximum = neg_infinity;
   }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* Bucket index: exponent of 2 selects the decade, the next [sub_buckets]
    fractions subdivide it. Values < 1 land in bucket 0. *)
@@ -31,10 +37,17 @@ let bucket_of v =
     min (bucket_count - 1) (max 0 idx)
   end
 
+(* Bucket 0 is special: it holds every value in [0, 1), not just the first
+   sixteenth of the first decade, so its lower bound is 0 — otherwise a
+   histogram of sub-1.0 samples (sub-microsecond latencies measured in
+   seconds, say) would interpolate every percentile to >= 1.0. *)
 let lower_bound_of_bucket i =
-  let e = i / sub_buckets and f = i mod sub_buckets in
-  let base = 2.0 ** float_of_int e in
-  base +. (base *. float_of_int f /. float_of_int sub_buckets)
+  if i = 0 then 0.0
+  else begin
+    let e = i / sub_buckets and f = i mod sub_buckets in
+    let base = 2.0 ** float_of_int e in
+    base +. (base *. float_of_int f /. float_of_int sub_buckets)
+  end
 
 let upper_bound_of_bucket i =
   let e = i / sub_buckets and f = i mod sub_buckets in
@@ -43,52 +56,65 @@ let upper_bound_of_bucket i =
 
 let add t v =
   let v = max v 0.0 in
-  t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
-  t.total <- t.total + 1;
-  t.sum <- t.sum +. v;
-  if v < t.minimum then t.minimum <- v;
-  if v > t.maximum then t.maximum <- v
+  locked t (fun () ->
+      t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
+      t.total <- t.total + 1;
+      t.sum <- t.sum +. v;
+      if v < t.minimum then t.minimum <- v;
+      if v > t.maximum then t.maximum <- v)
 
-let count t = t.total
+let count t = locked t (fun () -> t.total)
 
-let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+let mean t =
+  locked t (fun () -> if t.total = 0 then 0.0 else t.sum /. float_of_int t.total)
 
 let percentile t p =
-  if t.total = 0 then 0.0
-  else begin
-    let threshold = float_of_int t.total *. p /. 100.0 in
-    let rec walk i seen =
-      if i >= bucket_count then t.maximum
-      else
-        let seen' = seen + t.buckets.(i) in
-        if float_of_int seen' >= threshold && t.buckets.(i) > 0 then begin
-          (* Linear interpolation within the bucket. *)
-          let lo = lower_bound_of_bucket i and hi = upper_bound_of_bucket i in
-          let within =
-            (threshold -. float_of_int seen) /. float_of_int t.buckets.(i)
-          in
-          let v = lo +. ((hi -. lo) *. within) in
-          Float.min v t.maximum
-        end
-        else walk (i + 1) seen'
-    in
-    walk 0 0
-  end
+  locked t (fun () ->
+      if t.total = 0 then 0.0
+      else begin
+        let threshold = float_of_int t.total *. p /. 100.0 in
+        let rec walk i seen =
+          if i >= bucket_count then t.maximum
+          else
+            let seen' = seen + t.buckets.(i) in
+            if float_of_int seen' >= threshold && t.buckets.(i) > 0 then begin
+              (* Linear interpolation within the bucket, clamped to the
+                 observed extremes: a bucket's nominal bounds can lie outside
+                 [minimum, maximum] when few samples fell in it. *)
+              let lo = lower_bound_of_bucket i and hi = upper_bound_of_bucket i in
+              let within =
+                (threshold -. float_of_int seen) /. float_of_int t.buckets.(i)
+              in
+              let v = lo +. ((hi -. lo) *. within) in
+              Float.max t.minimum (Float.min v t.maximum)
+            end
+            else walk (i + 1) seen'
+        in
+        walk 0 0
+      end)
 
-let max_value t = if t.total = 0 then 0.0 else t.maximum
+let max_value t = locked t (fun () -> if t.total = 0 then 0.0 else t.maximum)
 
-let min_value t = if t.total = 0 then 0.0 else t.minimum
+let min_value t = locked t (fun () -> if t.total = 0 then 0.0 else t.minimum)
 
 let merge dst src =
-  Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) src.buckets;
-  dst.total <- dst.total + src.total;
-  dst.sum <- dst.sum +. src.sum;
-  if src.minimum < dst.minimum then dst.minimum <- src.minimum;
-  if src.maximum > dst.maximum then dst.maximum <- src.maximum
+  (* Snapshot [src] under its own lock first, then fold into [dst]; never
+     hold both locks at once so concurrent merges cannot deadlock. *)
+  let s_buckets, s_total, s_sum, s_min, s_max =
+    locked src (fun () ->
+        (Array.copy src.buckets, src.total, src.sum, src.minimum, src.maximum))
+  in
+  locked dst (fun () ->
+      Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) s_buckets;
+      dst.total <- dst.total + s_total;
+      dst.sum <- dst.sum +. s_sum;
+      if s_min < dst.minimum then dst.minimum <- s_min;
+      if s_max > dst.maximum then dst.maximum <- s_max)
 
 let reset t =
-  Array.fill t.buckets 0 bucket_count 0;
-  t.total <- 0;
-  t.sum <- 0.0;
-  t.minimum <- infinity;
-  t.maximum <- neg_infinity
+  locked t (fun () ->
+      Array.fill t.buckets 0 bucket_count 0;
+      t.total <- 0;
+      t.sum <- 0.0;
+      t.minimum <- infinity;
+      t.maximum <- neg_infinity)

@@ -4,7 +4,12 @@
     experiments, simulated I/O counts elsewhere) are bucketed
     logarithmically: 64 decades of 16 sub-buckets give <7% relative error
     per bucket, which is ample for reporting p50/p90/p99/p999 as in the
-    paper's Tables I and II. *)
+    paper's Tables I and II. Bucket 0 spans [0, 1) so sub-unit samples
+    interpolate correctly, and percentiles clamp to the observed
+    [min, max] range.
+
+    All operations are thread-safe: a histogram may be shared by the
+    multi-threaded benchmark's foreground threads. *)
 
 type t
 

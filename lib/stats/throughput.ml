@@ -1,4 +1,5 @@
 type t = {
+  lock : Mutex.t;
   window : int;
   start : float;
   mutable ops : int;
@@ -11,21 +12,45 @@ let now () = Unix.gettimeofday ()
 
 let create ~window =
   let t0 = now () in
-  { window; start = t0; ops = 0; window_ops = 0; window_start = t0; bins = [] }
+  {
+    lock = Mutex.create ();
+    window;
+    start = t0;
+    ops = 0;
+    window_ops = 0;
+    window_start = t0;
+    bins = [];
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let tick t ?(n = 1) () =
-  t.ops <- t.ops + n;
-  t.window_ops <- t.window_ops + n;
-  if t.window_ops >= t.window then begin
-    let t1 = now () in
-    let dt = Float.max 1e-9 (t1 -. t.window_start) in
-    t.bins <- (t.ops, float_of_int t.window_ops /. dt) :: t.bins;
-    t.window_ops <- 0;
-    t.window_start <- t1
-  end
+  locked t (fun () ->
+      t.ops <- t.ops + n;
+      t.window_ops <- t.window_ops + n;
+      if t.window_ops >= t.window then begin
+        let t1 = now () in
+        let dt = Float.max 1e-9 (t1 -. t.window_start) in
+        t.bins <- (t.ops, float_of_int t.window_ops /. dt) :: t.bins;
+        t.window_ops <- 0;
+        t.window_start <- t1
+      end)
 
-let series t = List.rev t.bins
+let series t =
+  locked t (fun () ->
+      let full = List.rev t.bins in
+      (* Ops recorded since the last full window would otherwise vanish from
+         the series (under-reporting total_ops); surface them as a final
+         partial bin over its real elapsed time. Read-only: the next tick
+         still completes the window at the normal boundary. *)
+      if t.window_ops = 0 then full
+      else begin
+        let dt = Float.max 1e-9 (now () -. t.window_start) in
+        full @ [ (t.ops, float_of_int t.window_ops /. dt) ]
+      end)
 
-let total_ops t = t.ops
+let total_ops t = locked t (fun () -> t.ops)
 
 let elapsed_seconds t = now () -. t.start

@@ -2,7 +2,10 @@
 
     Records operation completions and bins them into fixed-size windows (by
     operation count or by wall-clock time), producing the throughput-over-
-    time curves of Figures 6(a), 7 and 8. *)
+    time curves of Figures 6(a), 7 and 8.
+
+    All operations are thread-safe: one recorder may be ticked from many
+    foreground threads. *)
 
 type t
 
@@ -15,7 +18,10 @@ val tick : t -> ?n:int -> unit -> unit
 
 val series : t -> (int * float) list
 (** [(ops_so_far, ops_per_second_within_window)] for each completed window,
-    in order. *)
+    in order, plus — when ops have been recorded since the last window
+    boundary — one final partial bin over its real elapsed time, so the
+    last bin's [ops_so_far] always equals {!total_ops}. Reading the series
+    does not disturb the windowing. *)
 
 val total_ops : t -> int
 

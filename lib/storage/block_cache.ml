@@ -1,5 +1,8 @@
 (* Classic LRU: a hash table from key to a doubly-linked node; the list head
-   is most recent, the tail gets evicted. *)
+   is most recent, the tail gets evicted. A single internal mutex makes every
+   operation atomic — the cache is shared by all of a store's tables and, in
+   the sharded front, probed from many threads, and even [find] mutates (hit
+   counters, recency list). *)
 
 type key = { file : string; offset : int }
 
@@ -11,6 +14,7 @@ type node = {
 }
 
 type t = {
+  lock : Mutex.t;
   capacity : int;
   table : (key, node) Hashtbl.t;
   mutable head : node option;
@@ -22,6 +26,7 @@ type t = {
 
 let create ~capacity_bytes =
   {
+    lock = Mutex.create ();
     capacity = max 0 capacity_bytes;
     table = Hashtbl.create 256;
     head = None;
@@ -30,6 +35,10 @@ let create ~capacity_bytes =
     hits = 0;
     misses = 0;
   }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let unlink t node =
   (match node.prev with
@@ -53,15 +62,16 @@ let remove t node =
   t.used <- t.used - String.length node.value
 
 let find t ~file ~offset =
-  match Hashtbl.find_opt t.table { file; offset } with
-  | Some node ->
-    t.hits <- t.hits + 1;
-    unlink t node;
-    push_front t node;
-    Some node.value
-  | None ->
-    t.misses <- t.misses + 1;
-    None
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table { file; offset } with
+      | Some node ->
+        t.hits <- t.hits + 1;
+        unlink t node;
+        push_front t node;
+        Some node.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
 
 let rec evict_until_fits t =
   if t.used > t.capacity then
@@ -72,30 +82,32 @@ let rec evict_until_fits t =
     | None -> ()
 
 let add t ~file ~offset value =
-  if String.length value <= t.capacity then begin
-    let key = { file; offset } in
-    (match Hashtbl.find_opt t.table key with
-    | Some old -> remove t old
-    | None -> ());
-    let node = { key; value; prev = None; next = None } in
-    Hashtbl.replace t.table key node;
-    push_front t node;
-    t.used <- t.used + String.length value;
-    evict_until_fits t
-  end
+  if String.length value <= t.capacity then
+    locked t (fun () ->
+        let key = { file; offset } in
+        (match Hashtbl.find_opt t.table key with
+        | Some old -> remove t old
+        | None -> ());
+        let node = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.table key node;
+        push_front t node;
+        t.used <- t.used + String.length value;
+        evict_until_fits t)
 
 let evict_file t file =
-  let victims =
-    Hashtbl.fold
-      (fun key node acc -> if String.equal key.file file then node :: acc else acc)
-      t.table []
-  in
-  List.iter (remove t) victims
+  locked t (fun () ->
+      let victims =
+        Hashtbl.fold
+          (fun key node acc ->
+            if String.equal key.file file then node :: acc else acc)
+          t.table []
+      in
+      List.iter (remove t) victims)
 
-let hits t = t.hits
+let hits t = locked t (fun () -> t.hits)
 
-let misses t = t.misses
+let misses t = locked t (fun () -> t.misses)
 
-let used_bytes t = t.used
+let used_bytes t = locked t (fun () -> t.used)
 
-let entry_count t = Hashtbl.length t.table
+let entry_count t = locked t (fun () -> Hashtbl.length t.table)

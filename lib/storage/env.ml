@@ -31,7 +31,13 @@ type backend =
   | Posix of string (* root directory *)
   | Custom of custom
 
-type t = { backend : backend; stats : Io_stats.t }
+(* [lock] guards the Mem backend's file table: one in-memory Env may back
+   several shard stores driven from parallel threads, and Hashtbl mutations
+   race without it. Posix and Custom backends rely on the OS / the custom
+   implementation for their own metadata atomicity. File *contents* need no
+   lock here: distinct files own distinct buffers, and each store serializes
+   access to its own files. *)
+type t = { backend : backend; stats : Io_stats.t; lock : Mutex.t }
 
 type writer = {
   w_env : t;
@@ -50,9 +56,15 @@ type reader = {
 
 and r_impl = R_mem of string | R_posix of in_channel | R_custom of custom_reader
 
-let in_memory () = { backend = Mem (Hashtbl.create 64); stats = Io_stats.create () }
+let in_memory () =
+  {
+    backend = Mem (Hashtbl.create 64);
+    stats = Io_stats.create ();
+    lock = Mutex.create ();
+  }
 
-let custom c = { backend = Custom c; stats = Io_stats.create () }
+let custom c =
+  { backend = Custom c; stats = Io_stats.create (); lock = Mutex.create () }
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -62,9 +74,13 @@ let rec mkdir_p dir =
 
 let posix ~root =
   mkdir_p root;
-  { backend = Posix root; stats = Io_stats.create () }
+  { backend = Posix root; stats = Io_stats.create (); lock = Mutex.create () }
 
 let stats t = t.stats
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let posix_path root name =
   (* Flatten any separators so the namespace stays flat on disk. *)
@@ -84,7 +100,7 @@ let create_file t name =
   match t.backend with
   | Mem files ->
     let buf = Buffer.create 4096 in
-    Hashtbl.replace files name buf;
+    locked t (fun () -> Hashtbl.replace files name buf);
     { w_env = t; w_name = name; w_off = 0; w_impl = W_mem buf }
   | Posix root ->
     let oc = open_out_bin (posix_path root name) in
@@ -121,7 +137,10 @@ let close_writer w =
 let open_file t name =
   match t.backend with
   | Mem files ->
-    let buf = try Hashtbl.find files name with Not_found -> raise Not_found in
+    let buf =
+      locked t (fun () ->
+          try Hashtbl.find files name with Not_found -> raise Not_found)
+    in
     let contents = Buffer.contents buf in
     { r_env = t; r_size = String.length contents; r_impl = R_mem contents }
   | Posix root ->
@@ -158,13 +177,13 @@ let close_reader r =
 
 let exists t name =
   match t.backend with
-  | Mem files -> Hashtbl.mem files name
+  | Mem files -> locked t (fun () -> Hashtbl.mem files name)
   | Posix root -> Sys.file_exists (posix_path root name)
   | Custom c -> c.c_exists name
 
 let delete t name =
   match t.backend with
-  | Mem files -> Hashtbl.remove files name
+  | Mem files -> locked t (fun () -> Hashtbl.remove files name)
   | Posix root ->
     let path = posix_path root name in
     if Sys.file_exists path then begin
@@ -176,11 +195,12 @@ let delete t name =
 let rename t ~src ~dst =
   match t.backend with
   | Mem files ->
-    (match Hashtbl.find_opt files src with
-     | None -> raise Not_found
-     | Some buf ->
-       Hashtbl.remove files src;
-       Hashtbl.replace files dst buf)
+    locked t (fun () ->
+        match Hashtbl.find_opt files src with
+        | None -> raise Not_found
+        | Some buf ->
+          Hashtbl.remove files src;
+          Hashtbl.replace files dst buf)
   | Posix root ->
     Sys.rename (posix_path root src) (posix_path root dst);
     fsync_dir root
@@ -189,7 +209,7 @@ let rename t ~src ~dst =
 let list_files t =
   match t.backend with
   | Mem files ->
-    Hashtbl.fold (fun name _ acc -> name :: acc) files []
+    locked t (fun () -> Hashtbl.fold (fun name _ acc -> name :: acc) files [])
     |> List.sort String.compare
   | Posix root ->
     Sys.readdir root |> Array.to_list |> List.sort String.compare
@@ -197,7 +217,9 @@ let list_files t =
 
 let total_live_bytes t =
   match t.backend with
-  | Mem files -> Hashtbl.fold (fun _ buf acc -> acc + Buffer.length buf) files 0
+  | Mem files ->
+    locked t (fun () ->
+        Hashtbl.fold (fun _ buf acc -> acc + Buffer.length buf) files 0)
   | Posix root ->
     Sys.readdir root |> Array.to_list
     |> List.fold_left

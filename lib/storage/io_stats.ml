@@ -9,8 +9,11 @@ type category =
   | Manifest
 
 (* Fixed slots for the scalar categories; per-level compaction traffic lives
-   in growable arrays indexed by level. *)
+   in growable arrays indexed by level. A per-record mutex makes every
+   recorder and reader atomic: one Env (and thus one stats record) may be
+   shared by several shard stores written from parallel threads. *)
 type t = {
+  lock : Mutex.t;
   mutable user : int;
   mutable wal_w : int;
   mutable wal_r : int;
@@ -30,6 +33,7 @@ type t = {
 
 let create () =
   {
+    lock = Mutex.create ();
     user = 0;
     wal_w = 0;
     wal_r = 0;
@@ -47,6 +51,10 @@ let create () =
     faults = 0;
   }
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let ensure_level arr level =
   let arr' =
     if level < Array.length arr then arr
@@ -59,78 +67,90 @@ let ensure_level arr level =
   arr'
 
 let record_write t cat n =
-  match cat with
-  | User_write -> t.user <- t.user + n
-  | Wal -> t.wal_w <- t.wal_w + n
-  | Flush -> t.flush_w <- t.flush_w + n
-  | Compaction level ->
-    t.level_w <- ensure_level t.level_w level;
-    t.level_w.(level) <- t.level_w.(level) + n
-  | Compaction_read level ->
-    t.level_r <- ensure_level t.level_r level;
-    t.level_r.(level) <- t.level_r.(level) + n
-  | Split -> t.split_w <- t.split_w + n
-  | Read_path -> t.read_path_w <- t.read_path_w + n
-  | Manifest -> t.manifest_w <- t.manifest_w + n
+  locked t (fun () ->
+      match cat with
+      | User_write -> t.user <- t.user + n
+      | Wal -> t.wal_w <- t.wal_w + n
+      | Flush -> t.flush_w <- t.flush_w + n
+      | Compaction level ->
+        t.level_w <- ensure_level t.level_w level;
+        t.level_w.(level) <- t.level_w.(level) + n
+      | Compaction_read level ->
+        t.level_r <- ensure_level t.level_r level;
+        t.level_r.(level) <- t.level_r.(level) + n
+      | Split -> t.split_w <- t.split_w + n
+      | Read_path -> t.read_path_w <- t.read_path_w + n
+      | Manifest -> t.manifest_w <- t.manifest_w + n)
 
 let record_read t cat n =
-  match cat with
-  | User_write -> t.user <- t.user + n
-  | Wal -> t.wal_r <- t.wal_r + n
-  | Flush -> t.flush_r <- t.flush_r + n
-  | Compaction level | Compaction_read level ->
-    t.level_r <- ensure_level t.level_r level;
-    t.level_r.(level) <- t.level_r.(level) + n
-  | Split -> t.split_r <- t.split_r + n
-  | Read_path -> t.read_path_r <- t.read_path_r + n
-  | Manifest -> t.manifest_r <- t.manifest_r + n
+  locked t (fun () ->
+      match cat with
+      | User_write -> t.user <- t.user + n
+      | Wal -> t.wal_r <- t.wal_r + n
+      | Flush -> t.flush_r <- t.flush_r + n
+      | Compaction level | Compaction_read level ->
+        t.level_r <- ensure_level t.level_r level;
+        t.level_r.(level) <- t.level_r.(level) + n
+      | Split -> t.split_r <- t.split_r + n
+      | Read_path -> t.read_path_r <- t.read_path_r + n
+      | Manifest -> t.manifest_r <- t.manifest_r + n)
 
-let record_sync t = t.syncs <- t.syncs + 1
+let record_sync t = locked t (fun () -> t.syncs <- t.syncs + 1)
 
-let record_fault t = t.faults <- t.faults + 1
+let record_fault t = locked t (fun () -> t.faults <- t.faults + 1)
 
-let sync_count t = t.syncs
+let sync_count t = locked t (fun () -> t.syncs)
 
-let fault_count t = t.faults
+let fault_count t = locked t (fun () -> t.faults)
 
 let sum = Array.fold_left ( + ) 0
 
 let bytes_written t =
-  t.wal_w + t.flush_w + t.split_w + t.manifest_w + sum t.level_w
+  locked t (fun () ->
+      t.wal_w + t.flush_w + t.split_w + t.manifest_w + sum t.level_w)
 
-let store_bytes_written t = t.flush_w + t.split_w + t.manifest_w + sum t.level_w
+let store_bytes_written t =
+  locked t (fun () -> t.flush_w + t.split_w + t.manifest_w + sum t.level_w)
 
 let bytes_read t =
-  t.wal_r + t.flush_r + t.split_r + t.read_path_r + t.manifest_r
-  + sum t.level_r
+  locked t (fun () ->
+      t.wal_r + t.flush_r + t.split_r + t.read_path_r + t.manifest_r
+      + sum t.level_r)
 
-let user_bytes t = t.user
+let user_bytes t = locked t (fun () -> t.user)
 
 let write_amplification t =
-  if t.user = 0 then 0.0
-  else float_of_int (store_bytes_written t) /. float_of_int t.user
+  locked t (fun () ->
+      if t.user = 0 then 0.0
+      else
+        let store_w = t.flush_w + t.split_w + t.manifest_w + sum t.level_w in
+        float_of_int store_w /. float_of_int t.user)
 
-let written_by t = function
-  | User_write -> t.user
-  | Wal -> t.wal_w
-  | Flush -> t.flush_w
-  | Compaction level ->
-    if level < Array.length t.level_w then t.level_w.(level) else 0
-  | Compaction_read level ->
-    if level < Array.length t.level_r then t.level_r.(level) else 0
-  | Split -> t.split_w
-  | Read_path -> t.read_path_w
-  | Manifest -> t.manifest_w
+let written_by t cat =
+  locked t (fun () ->
+      match cat with
+      | User_write -> t.user
+      | Wal -> t.wal_w
+      | Flush -> t.flush_w
+      | Compaction level ->
+        if level < Array.length t.level_w then t.level_w.(level) else 0
+      | Compaction_read level ->
+        if level < Array.length t.level_r then t.level_r.(level) else 0
+      | Split -> t.split_w
+      | Read_path -> t.read_path_w
+      | Manifest -> t.manifest_w)
 
-let read_by t = function
-  | User_write -> t.user
-  | Wal -> t.wal_r
-  | Flush -> t.flush_r
-  | Compaction level | Compaction_read level ->
-    if level < Array.length t.level_r then t.level_r.(level) else 0
-  | Split -> t.split_r
-  | Read_path -> t.read_path_r
-  | Manifest -> t.manifest_r
+let read_by t cat =
+  locked t (fun () ->
+      match cat with
+      | User_write -> t.user
+      | Wal -> t.wal_r
+      | Flush -> t.flush_r
+      | Compaction level | Compaction_read level ->
+        if level < Array.length t.level_r then t.level_r.(level) else 0
+      | Split -> t.split_r
+      | Read_path -> t.read_path_r
+      | Manifest -> t.manifest_r)
 
 let per_level arr =
   let acc = ref [] in
@@ -139,35 +159,41 @@ let per_level arr =
   done;
   !acc
 
-let per_level_write t = per_level t.level_w
+let per_level_write t = locked t (fun () -> per_level t.level_w)
 
-let per_level_read t = per_level t.level_r
+let per_level_read t = locked t (fun () -> per_level t.level_r)
 
 let reset t =
-  t.user <- 0;
-  t.wal_w <- 0;
-  t.wal_r <- 0;
-  t.flush_w <- 0;
-  t.flush_r <- 0;
-  t.split_w <- 0;
-  t.split_r <- 0;
-  t.read_path_w <- 0;
-  t.read_path_r <- 0;
-  t.manifest_w <- 0;
-  t.manifest_r <- 0;
-  t.syncs <- 0;
-  t.faults <- 0;
-  Array.fill t.level_w 0 (Array.length t.level_w) 0;
-  Array.fill t.level_r 0 (Array.length t.level_r) 0
+  locked t (fun () ->
+      t.user <- 0;
+      t.wal_w <- 0;
+      t.wal_r <- 0;
+      t.flush_w <- 0;
+      t.flush_r <- 0;
+      t.split_w <- 0;
+      t.split_r <- 0;
+      t.read_path_w <- 0;
+      t.read_path_r <- 0;
+      t.manifest_w <- 0;
+      t.manifest_r <- 0;
+      t.syncs <- 0;
+      t.faults <- 0;
+      Array.fill t.level_w 0 (Array.length t.level_w) 0;
+      Array.fill t.level_r 0 (Array.length t.level_r) 0)
 
 let snapshot t =
-  {
-    t with
-    level_w = Array.copy t.level_w;
-    level_r = Array.copy t.level_r;
-  }
+  locked t (fun () ->
+      {
+        t with
+        lock = Mutex.create ();
+        level_w = Array.copy t.level_w;
+        level_r = Array.copy t.level_r;
+      })
 
 let diff cur base =
+  (* [base] is normally a private {!snapshot}; take an atomic copy of [cur]
+     first so the subtraction sees one consistent state. *)
+  let cur = snapshot cur in
   let sub_arrays a b =
     let n = max (Array.length a) (Array.length b) in
     Array.init n (fun i ->
@@ -175,6 +201,7 @@ let diff cur base =
         - if i < Array.length b then b.(i) else 0)
   in
   {
+    lock = Mutex.create ();
     user = cur.user - base.user;
     wal_w = cur.wal_w - base.wal_w;
     wal_r = cur.wal_r - base.wal_r;

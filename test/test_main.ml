@@ -17,6 +17,7 @@ let () =
       ("cache", Test_cache.suite);
       ("iterator", Test_iterator.suite);
       ("concurrent", Test_concurrent.suite);
+      ("sharded", Test_sharded.suite);
       ("crash", Test_crash.suite);
       ("crash-matrix", Test_crash_matrix.suite);
       ("fault", Test_fault.suite);

@@ -1,0 +1,279 @@
+(* Tests for the sharded concurrent front: key routing, cross-shard batches
+   and scans, the parallel compaction pool, and a writer/reader stress run
+   that doubles as the torn-value check for the shared statistics and the
+   block cache counters. *)
+
+module Sh = Wip_concurrent.Sharded_store.Make (Wipdb.Store)
+module Config = Wipdb.Config
+module Block_cache = Wip_storage.Block_cache
+module Histogram = Wip_stats.Histogram
+module Throughput = Wip_stats.Throughput
+
+let base_config =
+  {
+    Config.default with
+    Config.memtable_items = 64;
+    memtable_bytes = 8 * 1024;
+    t_sublevels = 4;
+    min_count = 2;
+    max_count = 8;
+    (* Leave eligible compactions entirely to the background pool. *)
+    compaction_budget_per_batch = 0;
+    name = "shard";
+  }
+
+(* Spread [i] of [count] uniformly across the engine key space so keys
+   actually land on different shards (shard boundaries live at fractions of
+   [initial_key_space], formatted "%016Ld"). *)
+let key_of ~count i =
+  Printf.sprintf "%016Ld"
+    Int64.(
+      div
+        (mul (of_int i) base_config.Config.initial_key_space)
+        (of_int count))
+
+let mk_store ?(shards = 4) ?(pool_threads = 2) () =
+  let bounds = Config.shard_boundaries base_config ~shards in
+  let stores =
+    List.mapi
+      (fun i lo ->
+        let cfg = { base_config with Config.name = Printf.sprintf "shard-%d" i } in
+        (lo, Wipdb.Store.create cfg))
+      bounds
+  in
+  Sh.create ~pool_threads ~idle_sleep:0.0005 stores
+
+let test_routing_and_shape () =
+  let c = mk_store ~shards:4 () in
+  Alcotest.(check int) "shard count" 4 (Sh.shard_count c);
+  Alcotest.(check int) "pool size" 2 (Sh.pool_size c);
+  let n = 400 in
+  for i = 0 to n - 1 do
+    Sh.put c ~key:(key_of ~count:n i) ~value:(string_of_int i)
+  done;
+  for i = 0 to n - 1 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "key %d" i)
+      (Some (string_of_int i))
+      (Sh.get c (key_of ~count:n i))
+  done;
+  (* Every shard saw a share of the traffic. *)
+  let populated =
+    Sh.fold_shards c ~init:0 ~f:(fun acc s ->
+        if Wipdb.Store.sequence s > 0L then acc + 1 else acc)
+  in
+  Alcotest.(check int) "all shards populated" 4 populated;
+  Sh.stop c
+
+let test_invalid_partitions () =
+  let mk bounds =
+    Sh.create ~pool_threads:0
+      (List.map (fun lo -> (lo, Wipdb.Store.create base_config)) bounds)
+  in
+  Alcotest.check_raises "empty" (Invalid_argument
+    "Sharded_store.create: at least one shard") (fun () -> ignore (mk []));
+  (match mk [ "a"; "b" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "first bound must be \"\"");
+  match mk [ ""; "m"; "m" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bounds must be strictly increasing"
+
+let test_cross_shard_write_batch () =
+  let c = mk_store ~shards:4 () in
+  let n = 40 in
+  (* One batch spanning every shard, including a delete of a key written by
+     the same batch's predecessor. *)
+  Sh.put c ~key:(key_of ~count:n 1) ~value:"doomed";
+  let batch =
+    List.init n (fun i -> (Wip_util.Ikey.Value, key_of ~count:n i, "b" ^ string_of_int i))
+    @ [ (Wip_util.Ikey.Deletion, key_of ~count:n 1, "") ]
+  in
+  Sh.write_batch c batch;
+  Alcotest.(check (option string)) "deleted" None (Sh.get c (key_of ~count:n 1));
+  for i = 0 to n - 1 do
+    if i <> 1 then
+      Alcotest.(check (option string))
+        (Printf.sprintf "batch key %d" i)
+        (Some ("b" ^ string_of_int i))
+        (Sh.get c (key_of ~count:n i))
+  done;
+  Sh.flush c;
+  Alcotest.(check (option string)) "still deleted after flush" None
+    (Sh.get c (key_of ~count:n 1));
+  Sh.stop c
+
+let test_scan_across_shards () =
+  let c = mk_store ~shards:4 () in
+  let n = 200 in
+  for i = 0 to n - 1 do
+    Sh.put c ~key:(key_of ~count:n i) ~value:(string_of_int i)
+  done;
+  (* Range spanning all four shards. *)
+  let lo = key_of ~count:n 10 and hi = key_of ~count:n 190 in
+  let r = Sh.scan c ~lo ~hi () in
+  Alcotest.(check int) "span size" 180 (List.length r);
+  let rec ordered = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if String.compare a b >= 0 then Alcotest.fail "scan out of order";
+      ordered rest
+    | _ -> ()
+  in
+  ordered r;
+  Alcotest.(check string) "first" (string_of_int 10) (snd (List.hd r));
+  (* Limit cuts across the shard merge, not per shard. *)
+  let limited = Sh.scan c ~lo ~hi ~limit:7 () in
+  Alcotest.(check int) "limit" 7 (List.length limited);
+  Alcotest.(check (list string)) "limited prefix"
+    (List.filteri (fun i _ -> i < 7) (List.map snd r))
+    (List.map snd limited);
+  (* Empty and inverted ranges. *)
+  Alcotest.(check int) "inverted" 0 (List.length (Sh.scan c ~lo:hi ~hi:lo ()));
+  Sh.stop c
+
+let test_pool_compacts_in_background () =
+  let c = mk_store ~shards:4 ~pool_threads:3 () in
+  let n = 3000 in
+  for i = 0 to (3 * n) - 1 do
+    Sh.put c ~key:(key_of ~count:n (i mod n)) ~value:("v" ^ string_of_int i)
+  done;
+  Sh.stop c;
+  let compactions =
+    Sh.fold_shards c ~init:0 ~f:(fun acc s -> acc + Wipdb.Store.compaction_count s)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "compactions ran (%d over %d pool cycles)" compactions
+       (Sh.compaction_cycles c))
+    true (compactions > 0);
+  Alcotest.(check int) "drained" 0 (Sh.maintenance_pending c);
+  for i = 0 to n - 1 do
+    if Sh.get c (key_of ~count:n i) = None then Alcotest.failf "lost key %d" i
+  done
+
+(* The ISSUE's stress shape: N writer domains + M reader domains over
+   disjoint and overlapping ranges. Every read must return a
+   previously-written value or None — never a torn value. *)
+let test_stress_writers_readers () =
+  let c = mk_store ~shards:4 ~pool_threads:2 () in
+  let writers = 4 and readers = 4 in
+  let per_writer = 600 in
+  let disjoint = writers * per_writer in
+  (* Overlap range: a band of keys every writer fights over. *)
+  let overlap = 64 in
+  let overlap_key j = "ovl:" ^ Printf.sprintf "%04d" j in
+  let failures = Atomic.make 0 in
+  let writer w () =
+    for i = 0 to per_writer - 1 do
+      let idx = (w * per_writer) + i in
+      let k = key_of ~count:disjoint idx in
+      Sh.put c ~key:k ~value:(Printf.sprintf "w%d:%s" w k);
+      if i mod 7 = 0 then begin
+        let j = (idx * 13) mod overlap in
+        Sh.put c ~key:(overlap_key j)
+          ~value:(Printf.sprintf "%s#%d" (overlap_key j) w)
+      end
+    done
+  in
+  let reader _ () =
+    for _ = 0 to (2 * disjoint) - 1 do
+      let idx = Random.int disjoint in
+      let k = key_of ~count:disjoint idx in
+      (match Sh.get c k with
+      | None -> ()
+      | Some v ->
+        (* The only writer of this key is its range owner: the value is
+           either absent or exactly what that writer put. *)
+        let w = idx / per_writer in
+        if v <> Printf.sprintf "w%d:%s" w k then Atomic.incr failures);
+      let j = Random.int overlap in
+      (match Sh.get c (overlap_key j) with
+      | None -> ()
+      | Some v ->
+        (* Contended key: any writer may own it, but the value must be a
+           well-formed write, never an interleaving of two. *)
+        let prefix = overlap_key j ^ "#" in
+        let plen = String.length prefix in
+        if
+          String.length v <= plen
+          || String.sub v 0 plen <> prefix
+          || int_of_string_opt (String.sub v plen (String.length v - plen))
+             = None
+        then Atomic.incr failures)
+    done
+  in
+  let ds =
+    List.init writers (fun w -> Domain.spawn (writer w))
+    @ List.init readers (fun r -> Domain.spawn (reader r))
+  in
+  List.iter Domain.join ds;
+  Sh.stop c;
+  Alcotest.(check int) "no torn values" 0 (Atomic.get failures);
+  for idx = 0 to disjoint - 1 do
+    let k = key_of ~count:disjoint idx in
+    let w = idx / per_writer in
+    Alcotest.(check (option string))
+      (Printf.sprintf "final key %d" idx)
+      (Some (Printf.sprintf "w%d:%s" w k))
+      (Sh.get c k)
+  done
+
+let test_block_cache_counters_under_contention () =
+  let cache = Block_cache.create ~capacity_bytes:(64 * 1024) in
+  let domains = 4 and per_domain = 20_000 in
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              let file = Printf.sprintf "f%d" (i mod 8) in
+              let offset = (d + i) mod 32 in
+              (match Block_cache.find cache ~file ~offset with
+              | Some _ -> ()
+              | None -> Block_cache.add cache ~file ~offset "0123456789abcdef");
+              ignore (Block_cache.used_bytes cache)
+            done))
+  in
+  List.iter Domain.join ds;
+  (* Exactly one counter bumps per lookup — lost updates would break this. *)
+  Alcotest.(check int) "hits + misses = lookups" (domains * per_domain)
+    (Block_cache.hits cache + Block_cache.misses cache)
+
+let test_stats_under_contention () =
+  let h = Histogram.create () in
+  let tp = Throughput.create ~window:100 in
+  let domains = 4 and per_domain = 25_000 in
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let local = Histogram.create () in
+            for i = 1 to per_domain do
+              Histogram.add h (float_of_int (i mod 1000));
+              Histogram.add local (float_of_int ((d * per_domain) + i));
+              Throughput.tick tp ()
+            done;
+            Histogram.merge h local))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "histogram count (direct + merged)"
+    (2 * domains * per_domain) (Histogram.count h);
+  Alcotest.(check int) "throughput total" (domains * per_domain)
+    (Throughput.total_ops tp);
+  let s = Throughput.series tp in
+  Alcotest.(check int) "series reaches total" (domains * per_domain)
+    (fst (List.nth s (List.length s - 1)))
+
+let suite =
+  [
+    Alcotest.test_case "routing and shape" `Quick test_routing_and_shape;
+    Alcotest.test_case "invalid partitions" `Quick test_invalid_partitions;
+    Alcotest.test_case "cross-shard write_batch" `Quick
+      test_cross_shard_write_batch;
+    Alcotest.test_case "scan across shards" `Quick test_scan_across_shards;
+    Alcotest.test_case "pool compacts in background" `Quick
+      test_pool_compacts_in_background;
+    Alcotest.test_case "stress writers+readers" `Slow
+      test_stress_writers_readers;
+    Alcotest.test_case "block cache counters" `Slow
+      test_block_cache_counters_under_contention;
+    Alcotest.test_case "stats under contention" `Slow
+      test_stats_under_contention;
+  ]

@@ -68,6 +68,21 @@ let test_histogram_negative_clamped () =
   Alcotest.(check int) "counted" 1 (Histogram.count h);
   Alcotest.(check bool) "clamped" true (Histogram.min_value h >= 0.0)
 
+(* Regression: bucket 0 used to claim the range [1, 2), so sub-1.0 samples
+   interpolated to percentile values above the observed maximum. *)
+let test_histogram_sub_unit_samples () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 0.1; 0.2; 0.3; 0.4; 0.5 ];
+  let mx = Histogram.max_value h and mn = Histogram.min_value h in
+  List.iter
+    (fun p ->
+      let v = Histogram.percentile h p in
+      if v > mx +. 1e-9 then
+        Alcotest.failf "p%.1f = %f exceeds observed max %f" p v mx;
+      if v < mn -. 1e-9 then
+        Alcotest.failf "p%.1f = %f below observed min %f" p v mn)
+    [ 1.0; 50.0; 90.0; 99.0; 99.9 ]
+
 let test_throughput_series () =
   let t = Throughput.create ~window:10 in
   for _ = 1 to 35 do
@@ -75,13 +90,36 @@ let test_throughput_series () =
   done;
   Alcotest.(check int) "total" 35 (Throughput.total_ops t);
   let s = Throughput.series t in
-  Alcotest.(check int) "three full windows" 3 (List.length s);
+  Alcotest.(check int) "three full windows plus trailing partial" 4
+    (List.length s);
   List.iter
     (fun (_, rate) ->
       if rate <= 0.0 then Alcotest.fail "non-positive rate")
     s;
-  Alcotest.(check (list int)) "window boundaries" [ 10; 20; 30 ]
+  Alcotest.(check (list int)) "window boundaries" [ 10; 20; 30; 35 ]
     (List.map fst s)
+
+(* Regression: series used to drop ops recorded after the last full window,
+   so the bins under-counted total_ops. The last bin must always land on the
+   total. *)
+let test_throughput_partial_window_counted () =
+  let t = Throughput.create ~window:3 in
+  for _ = 1 to 10 do
+    Throughput.tick t ()
+  done;
+  let s = Throughput.series t in
+  Alcotest.(check int) "bins" 4 (List.length s);
+  Alcotest.(check (list int)) "cumulative ops per bin" [ 3; 6; 9; 10 ]
+    (List.map fst s);
+  Alcotest.(check int) "last bin reaches total_ops" (Throughput.total_ops t)
+    (fst (List.nth s (List.length s - 1)));
+  (* Exact multiple of the window: no partial bin is fabricated. *)
+  let t2 = Throughput.create ~window:5 in
+  for _ = 1 to 10 do
+    Throughput.tick t2 ()
+  done;
+  Alcotest.(check (list int)) "exact multiple has no partial bin" [ 5; 10 ]
+    (List.map fst (Throughput.series t2))
 
 let test_throughput_bulk_ticks () =
   let t = Throughput.create ~window:100 in
@@ -113,7 +151,11 @@ let suite =
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
     Alcotest.test_case "histogram reset" `Quick test_histogram_reset;
     Alcotest.test_case "negative clamped" `Quick test_histogram_negative_clamped;
+    Alcotest.test_case "sub-unit samples stay within min/max" `Quick
+      test_histogram_sub_unit_samples;
     Alcotest.test_case "throughput series" `Quick test_throughput_series;
+    Alcotest.test_case "throughput partial window counted" `Quick
+      test_throughput_partial_window_counted;
     Alcotest.test_case "throughput bulk" `Quick test_throughput_bulk_ticks;
     QCheck_alcotest.to_alcotest qcheck_histogram_percentile_monotone;
   ]
