@@ -24,6 +24,8 @@ let experiments =
       Ablation.run ~ops);
     ("mt", "sharded front-end scaling, 1..8 foreground threads", fun ~ops ->
       Mt.run ~ops);
+    ("readpath", "cursor read path: point get / scan / merge-compact", fun ~ops ->
+      Readpath.run ~ops);
   ]
 
 let default_ops =
@@ -38,6 +40,7 @@ let default_ops =
     ("fig11", 60_000);
     ("ablation", 40_000);
     ("mt", 40_000);
+    ("readpath", 200_000);
   ]
 
 let usage () =

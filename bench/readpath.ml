@@ -1,0 +1,151 @@
+(* Read-path microbenchmark: the cost of serving data already on "disk".
+
+   Measures, at the table layer the cursor read path lives in:
+     - point-get ops/s against a cache-warm reader and a cache-less reader,
+       with minor-heap allocation per get (Gc.allocated_bytes deltas);
+     - full-table scan throughput through Reader.stream;
+     - k-way merge-compact throughput (Merge_iter.compact over table
+       streams in scan-resistant mode) — the inner loop of every flush,
+       compaction and split;
+   and writes the numbers to BENCH_readpath.json so successive PRs can
+   diff the read-path trajectory mechanically. *)
+
+open Harness
+module Table = Wip_sstable.Table
+module Merge_iter = Wip_sstable.Merge_iter
+module Block_cache = Wip_storage.Block_cache
+module Ikey = Wip_util.Ikey
+
+let key i = Printf.sprintf "%012d" i
+
+let value = String.make 100 'v'
+
+let build_table env ~name ~keys ~stride ~offset =
+  let b =
+    Table.Builder.create env ~name ~category:Io_stats.Flush
+      ~expected_keys:keys ()
+  in
+  for i = 0 to keys - 1 do
+    Table.Builder.add_encoded b
+      ~key:(Ikey.encode_seek (key ((i * stride) + offset)) ~seq:(Int64.of_int (i + 1)))
+      ~value
+  done;
+  ignore (Table.Builder.finish b)
+
+(* [f] many times; returns (ops/s, allocated bytes per op). *)
+let timed ~ops f =
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to ops - 1 do
+    f i
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let alloc = (Gc.allocated_bytes () -. a0) /. float_of_int ops in
+  (float_of_int ops /. dt, alloc)
+
+let point_gets ~ops ~keys reader =
+  (* Uniform pseudo-random present keys; the multiplier is coprime to any
+     power-of-ten key count so the sequence cycles the whole table. *)
+  timed ~ops (fun i ->
+      let k = key (i * 7919 mod keys) in
+      if Table.Reader.get reader ~category:Io_stats.Read_path k
+           ~snapshot:Int64.max_int
+         = None
+      then failwith ("lost key " ^ k))
+
+let scan_pass ~category ?fill_cache reader =
+  let n = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  Seq.iter
+    (fun _ -> incr n)
+    (Table.Reader.stream reader ~category ?fill_cache ());
+  (float_of_int !n /. (Unix.gettimeofday () -. t0), !n)
+
+let run ~ops () =
+  let keys = max 10_000 ops in
+  section
+    (Printf.sprintf "readpath: cursor read path (%d keys, %d ops/measure)"
+       keys ops);
+  let env = Env.in_memory () in
+  build_table env ~name:"rp" ~keys ~stride:1 ~offset:0;
+  let cache = Block_cache.create ~capacity_bytes:(64 * 1024 * 1024) in
+  let warm = Table.Reader.open_ ~cache env ~name:"rp" in
+  let cold = Table.Reader.open_ env ~name:"rp" in
+
+  (* Hot: every block resident after one filling pass. *)
+  ignore (scan_pass ~category:Io_stats.Read_path warm);
+  let hot_ops, hot_alloc = point_gets ~ops ~keys warm in
+  (* Cold: no cache at all — every get re-reads its block. *)
+  let cold_ops, cold_alloc = point_gets ~ops ~keys cold in
+  row "%-28s %14.0f ops/s %10.0f B/op" "point get (cache-hot)" hot_ops
+    hot_alloc;
+  row "%-28s %14.0f ops/s %10.0f B/op" "point get (no cache)" cold_ops
+    cold_alloc;
+
+  let scan_ops, scanned = scan_pass ~category:Io_stats.Read_path warm in
+  row "%-28s %14.0f entries/s  (%d entries)" "scan (stream, warm)" scan_ops
+    scanned;
+
+  (* Merge-compact: 4 interleaved runs, compacted the way a real compaction
+     consumes them — scan-resistant streams into the pairing heap. *)
+  let fan = 4 in
+  let per = keys / fan in
+  for j = 0 to fan - 1 do
+    build_table env
+      ~name:(Printf.sprintf "run-%d" j)
+      ~keys:per ~stride:fan ~offset:j
+  done;
+  let runs =
+    List.init fan (fun j ->
+        Table.Reader.open_ ~cache env ~name:(Printf.sprintf "run-%d" j))
+  in
+  let t0 = Unix.gettimeofday () in
+  let a0 = Gc.allocated_bytes () in
+  let merged = ref 0 in
+  Seq.iter
+    (fun _ -> incr merged)
+    (Merge_iter.compact ~drop_tombstones:true
+       (List.map
+          (fun r ->
+            Table.Reader.stream r ~category:(Io_stats.Compaction_read 0)
+              ~fill_cache:false ())
+          runs));
+  let merge_dt = Unix.gettimeofday () -. t0 in
+  let merge_ops = float_of_int !merged /. merge_dt in
+  let merge_alloc = (Gc.allocated_bytes () -. a0) /. float_of_int !merged in
+  row "%-28s %14.0f entries/s %10.0f B/entry  (%d-way, %d entries)"
+    "merge-compact" merge_ops merge_alloc fan !merged;
+
+  let stats = Env.stats env in
+  let fp_rate = Io_stats.bloom_fp_rate stats in
+  row "%-28s %14.4f  (%d probes, %d FPs)" "bloom FP rate" fp_rate
+    (Io_stats.bloom_probe_count stats)
+    (Io_stats.bloom_false_positive_count stats);
+
+  (* Machine-readable trail for cross-PR comparison. *)
+  let json = "BENCH_readpath.json" in
+  let oc = open_out json in
+  Printf.fprintf oc
+    {|{
+  "bench": "readpath",
+  "keys": %d,
+  "ops": %d,
+  "point_get_hot_ops_per_sec": %.0f,
+  "point_get_hot_alloc_bytes_per_op": %.1f,
+  "point_get_cold_ops_per_sec": %.0f,
+  "point_get_cold_alloc_bytes_per_op": %.1f,
+  "scan_entries_per_sec": %.0f,
+  "merge_compact_entries_per_sec": %.0f,
+  "merge_compact_alloc_bytes_per_entry": %.1f,
+  "bloom_fp_rate": %.6f,
+  "block_fetches": %d
+}
+|}
+    keys ops hot_ops hot_alloc cold_ops cold_alloc scan_ops merge_ops
+    merge_alloc fp_rate
+    (Io_stats.block_fetch_count stats);
+  close_out oc;
+  row "wrote %s" json;
+  List.iter Table.Reader.close runs;
+  Table.Reader.close warm;
+  Table.Reader.close cold

@@ -9,8 +9,8 @@ let create ~bits_per_key ~expected_keys =
   let nbytes = (nbits + 7) / 8 in
   { bits = Bytes.make nbytes '\000'; nbits = nbytes * 8; k = probes_for bits_per_key }
 
-let base_hashes key =
-  let h = Wip_util.Hashing.hash64 key in
+let base_hashes_sub key ~pos ~len =
+  let h = Wip_util.Hashing.hash64_sub key ~pos ~len in
   let h1 = Int64.to_int (Int64.logand h 0x3FFFFFFFFFFFFFFFL) in
   let h2 =
     Int64.to_int
@@ -18,6 +18,8 @@ let base_hashes key =
     lor 1
   in
   (h1, h2)
+
+let base_hashes key = base_hashes_sub key ~pos:0 ~len:(String.length key)
 
 let set_bit bits pos =
   let byte = pos lsr 3 and bit = pos land 7 in
@@ -32,13 +34,15 @@ let get_bit_string bits pos =
   let byte = pos lsr 3 and bit = pos land 7 in
   Char.code (String.unsafe_get bits byte) land (1 lsl bit) <> 0
 
-let add t key =
-  let h1, h2 = base_hashes key in
+let add_sub t key ~pos ~len =
+  let h1, h2 = base_hashes_sub key ~pos ~len in
   let h = ref h1 in
   for _ = 1 to t.k do
     set_bit t.bits (!h mod t.nbits);
     h := (!h + h2) land max_int
   done
+
+let add t key = add_sub t key ~pos:0 ~len:(String.length key)
 
 let mem t key =
   let h1, h2 = base_hashes key in
@@ -51,7 +55,7 @@ let mem t key =
 
 let encode t = Bytes.to_string t.bits ^ String.make 1 (Char.chr t.k)
 
-let mem_encoded filter key =
+let mem_encoded_sub filter key ~pos ~len =
   let n = String.length filter in
   if n < 2 then true
   else begin
@@ -59,7 +63,7 @@ let mem_encoded filter key =
     if k < 1 || k > 30 then true
     else begin
       let nbits = (n - 1) * 8 in
-      let h1, h2 = base_hashes key in
+      let h1, h2 = base_hashes_sub key ~pos ~len in
       let rec loop h i =
         if i = 0 then true
         else if not (get_bit_string filter (h mod nbits)) then false
@@ -68,6 +72,9 @@ let mem_encoded filter key =
       loop h1 k
     end
   end
+
+let mem_encoded filter key =
+  mem_encoded_sub filter key ~pos:0 ~len:(String.length key)
 
 let bit_count t = t.nbits
 

@@ -14,6 +14,10 @@ val create : bits_per_key:int -> expected_keys:int -> t
 
 val add : t -> string -> unit
 
+val add_sub : t -> string -> pos:int -> len:int -> unit
+(** Add the substring [key.[pos .. pos+len)] without copying it out — table
+    builders feed the escaped-user slice of encoded internal keys. *)
+
 val mem : t -> string -> bool
 (** No false negatives for added keys; false-positive probability decreases
     with [bits_per_key] (~1% at 10 bits/key). *)
@@ -25,6 +29,10 @@ val mem_encoded : string -> string -> bool
 (** [mem_encoded filter key] queries a serialized filter without decoding it
     into an intermediate structure. An empty or malformed filter returns
     [true] (maybe-present), never losing keys. *)
+
+val mem_encoded_sub : string -> string -> pos:int -> len:int -> bool
+(** {!mem_encoded} over the substring [key.[pos .. pos+len)] — probing with
+    a slice of an encoded internal key allocates nothing. *)
 
 val bit_count : t -> int
 (** Size of the bit array, for introspection/tests. *)

@@ -1,4 +1,3 @@
-module Ikey = Wip_util.Ikey
 module Merge_iter = Wip_sstable.Merge_iter
 
 module Make (S : Wip_kv.Store_intf.S) = struct
@@ -231,20 +230,12 @@ module Make (S : Wip_kv.Store_intf.S) = struct
                 S.scan t.shards.(i0 + k).store ~lo ~hi ?limit ()))
       in
       (* Shard ranges are disjoint, so this is morally a concatenation, but
-         routing the streams through Merge_iter keeps the result sorted and
-         deduplicated even if a caller hands in shards whose ranges overlap
-         the engine's own boundaries imperfectly. *)
-      let seqs =
-        List.map
-          (fun items ->
-            List.to_seq items
-            |> Seq.map (fun (k, v) -> (Ikey.make ~kind:Ikey.Value k ~seq:0L, v)))
-          per_shard
-      in
-      let merged =
-        Merge_iter.merge seqs
-        |> Seq.map (fun ((ik : Ikey.t), v) -> (ik.Ikey.user_key, v))
-      in
+         routing the streams through the k-way merge keeps the result sorted
+         even if a caller hands in shards whose ranges overlap the engine's
+         own boundaries imperfectly. The results are plain user-key pairs, so
+         merge on those directly — no internal-key wrapping. *)
+      let seqs = List.map List.to_seq per_shard in
+      let merged = Merge_iter.merge_by ~compare:String.compare seqs in
       let merged =
         match limit with Some l -> Seq.take l merged | None -> merged
       in

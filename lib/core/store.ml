@@ -201,8 +201,11 @@ let log_remove_table t bucket level (meta : Table.meta) =
   Manifest.append t.manifest
     (Manifest.Remove_table { bucket = bucket.id; level; name = meta.Table.name })
 
-let table_seq t ~category meta =
-  Table.Reader.iter_from (reader_of t meta) ~category ()
+(* Encoded-entry stream over one table. Compaction/split readers pass
+   ~fill_cache:false: a sequential pass must not evict the point-read
+   working set from the block cache. *)
+let table_seq t ~category ?(fill_cache = true) meta =
+  Table.Reader.stream (reader_of t meta) ~category ~fill_cache ()
 
 (* ------------------------------------------------------------------ *)
 (* Flush (minor compaction): MemTable -> one level-0 LevelTable *)
@@ -264,7 +267,9 @@ let compact_level t bucket level =
     t.compactions <- t.compactions + 1;
     let seqs =
       List.map
-        (fun m -> table_seq t ~category:(Io_stats.Compaction_read level) m)
+        (fun m ->
+          table_seq t ~category:(Io_stats.Compaction_read level)
+            ~fill_cache:false m)
         inputs
     in
     let entries =
@@ -279,7 +284,9 @@ let compact_level t bucket level =
         ~bits_per_key:t.cfg.Config.bits_per_key ~expected_keys:(max 64 expected)
         ()
     in
-    Seq.iter (fun (ik, v) -> Table.Builder.add builder ik v) entries;
+    Seq.iter
+      (fun (key, value) -> Table.Builder.add_encoded builder ~key ~value)
+      entries;
     if Table.Builder.entry_count builder > 0 then begin
       let meta = Table.Builder.finish builder in
       bucket.levels.(level + 1) <- meta :: bucket.levels.(level + 1);
@@ -310,19 +317,20 @@ let choose_splitters t bucket =
       let sample = ref [] in
       (* Evenly spaced block boundaries approximate key ordinals. *)
       let keys =
-        Table.Reader.iter_from reader ~category:Io_stats.Split ()
-        |> Seq.map (fun ((ik : Ikey.t), _) -> ik.Ikey.user_key)
+        Table.Reader.stream reader ~category:Io_stats.Split ~fill_cache:false ()
+        |> Seq.map fst
       in
       (* Taking every (count/n)-th key exactly would re-read the table; the
          index-based approximation below uses the table's smallest/largest
          and a handful of sampled keys. For fidelity we sample from the real
-         iterator but cap the work: stride through entries. *)
+         iterator but cap the work: stride through entries. Only the few
+         sampled keys get unescaped. *)
       let stride = max 1 (meta.Table.entry_count / n) in
       let i = ref 0 in
       Seq.iter
         (fun k ->
           if !i mod stride = stride - 1 && List.length !sample < n - 1 then
-            sample := k :: !sample;
+            sample := Ikey.user_key_of_encoded k :: !sample;
           incr i)
         keys;
       !sample
@@ -356,13 +364,18 @@ let split_bucket t bucket =
     let seqs =
       Array.to_list bucket.levels
       |> List.concat_map
-           (List.map (fun m -> table_seq t ~category:Io_stats.Split m))
+           (List.map (fun m ->
+                table_seq t ~category:Io_stats.Split ~fill_cache:false m))
     in
     let entries =
       Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:true seqs
     in
-    (* Cut the stream at each splitter: one output table per new bucket. *)
-    let remaining = ref (List.tl boundaries) in
+    (* Cut the stream at each splitter: one output table per new bucket.
+       Splitters are pre-encoded once so the per-entry comparison runs on
+       raw bytes. *)
+    let remaining =
+      ref (List.map (fun s -> Ikey.encode_user s) (List.tl boundaries))
+    in
     let outputs = ref [] in
     let builder = ref None in
     let total_entries =
@@ -383,12 +396,12 @@ let split_bucket t bucket =
       | None -> ()
     in
     Seq.iter
-      (fun ((ik : Ikey.t), v) ->
+      (fun (key, value) ->
         (* Advance past any splitters <= this key. *)
         let advanced = ref false in
         while
           match !remaining with
-          | s :: _ when String.compare s ik.Ikey.user_key <= 0 -> true
+          | s :: _ when Ikey.compare_encoded_user s key <= 0 -> true
           | _ -> false
         do
           remaining := List.tl !remaining;
@@ -409,7 +422,7 @@ let split_bucket t bucket =
             builder := Some b';
             b'
         in
-        Table.Builder.add b ik v)
+        Table.Builder.add_encoded b ~key ~value)
       entries;
     finish ();
     let outputs = List.rev !outputs in
@@ -490,11 +503,24 @@ let merge_buckets t left right =
       (fun b ->
         Array.to_list b.levels
         |> List.concat_map
-             (List.map (fun m -> table_seq t ~category:Io_stats.Split m)))
+             (List.map (fun m ->
+                  table_seq t ~category:Io_stats.Split ~fill_cache:false m)))
       [ left; right ]
   in
   let entries =
     Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:true seqs
+  in
+  let expected =
+    List.fold_left
+      (fun acc b ->
+        Array.fold_left
+          (fun acc tables ->
+            List.fold_left
+              (fun acc (m : Table.meta) -> acc + m.Table.entry_count)
+              acc tables)
+          acc b.levels)
+      0
+      [ left; right ]
   in
   let id = t.next_bucket_id in
   t.next_bucket_id <- id + 1;
@@ -503,9 +529,11 @@ let merge_buckets t left right =
   let builder =
     Table.Builder.create t.env ~name:(fresh_table_name t)
       ~category:Io_stats.Split ~bits_per_key:t.cfg.Config.bits_per_key
-      ~expected_keys:64 ()
+      ~expected_keys:(max 64 expected) ()
   in
-  Seq.iter (fun (ik, v) -> Table.Builder.add builder ik v) entries;
+  Seq.iter
+    (fun (key, value) -> Table.Builder.add_encoded builder ~key ~value)
+    entries;
   if Table.Builder.entry_count builder > 0 then begin
     let meta = Table.Builder.finish builder in
     let lvl = t.cfg.Config.l_max - 1 in
@@ -601,18 +629,28 @@ let collapse_last_level t bucket =
     t.compactions <- t.compactions + 1;
     let seqs =
       List.map
-        (fun m -> table_seq t ~category:(Io_stats.Compaction_read level) m)
+        (fun m ->
+          table_seq t ~category:(Io_stats.Compaction_read level)
+            ~fill_cache:false m)
         inputs
     in
     let entries =
       Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:true seqs
     in
+    let expected =
+      List.fold_left
+        (fun acc (m : Table.meta) -> acc + m.Table.entry_count)
+        0 inputs
+    in
     let builder =
       Table.Builder.create t.env ~name:(fresh_table_name t)
         ~category:(Io_stats.Compaction level)
-        ~bits_per_key:t.cfg.Config.bits_per_key ~expected_keys:64 ()
+        ~bits_per_key:t.cfg.Config.bits_per_key
+        ~expected_keys:(max 64 expected) ()
     in
-    Seq.iter (fun (ik, v) -> Table.Builder.add builder ik v) entries;
+    Seq.iter
+      (fun (key, value) -> Table.Builder.add_encoded builder ~key ~value)
+      entries;
     if Table.Builder.entry_count builder > 0 then begin
       let meta = Table.Builder.finish builder in
       bucket.levels.(level) <- [ meta ];
@@ -805,6 +843,10 @@ let get_at t key ~snapshot =
   | Some (Ikey.Value, v) -> Some v
   | Some (Ikey.Deletion, _) -> None
   | None ->
+    (* One seek target serves every sublevel probe: the bloom hashes its
+       escaped-user prefix and the cursor seeks its full bytes, so the per-get
+       allocation is this one string (plus the returned value). *)
+    let target = Ikey.encode_seek key ~seq:snapshot in
     let rec levels level =
       if level >= t.cfg.Config.l_max then None
       else begin
@@ -814,13 +856,14 @@ let get_at t key ~snapshot =
             if not (Table.overlaps m ~lo:key ~hi:key) then sublevels rest
             else begin
               let reader = reader_of t m in
-              if not (Table.Reader.may_contain reader key) then sublevels rest
+              if not (Table.Reader.may_contain_encoded reader target) then
+                sublevels rest
               else begin
                 (* A real sublevel access: §III-G read accounting. *)
                 bucket.read_counts.(level) <- bucket.read_counts.(level) + 1;
                 match
-                  Table.Reader.get reader ~category:Io_stats.Read_path key
-                    ~snapshot
+                  Table.Reader.get_encoded reader
+                    ~category:Io_stats.Read_path ~filter_checked:true target
                 with
                 | Some (Ikey.Value, v, _) -> Some v
                 | Some (Ikey.Deletion, _, _) -> None
@@ -856,15 +899,22 @@ let visible_seq t ~lo ~hi ~snapshot =
            in
            String.compare b.lo hi < 0 && String.compare b_hi lo > 0)
   in
+  (* Encoded range bounds, computed once: tables seek [from] directly and the
+     take-while compares [hi_enc] against each entry's escaped-user prefix. *)
+  let from = Ikey.encode_seek lo ~seq:Ikey.max_seq in
+  let hi_enc = Ikey.encode_user hi in
   let bucket_seq b () =
     b.range_queries <- b.range_queries + 1;
     let mem_entries =
-      (* §III-D: sort the hash MemTable into a one-time buffer. *)
+      (* §III-D: sort the hash MemTable into a one-time buffer; entries are
+         encoded here to join the bytewise merge (the MemTable is small, so
+         this is bounded work). *)
       Memtable.sorted_entries b.memtable
       |> Array.to_seq
       |> Seq.filter (fun ((ik : Ikey.t), _) ->
              Ikey.compare_user ik.Ikey.user_key lo >= 0
              && Ikey.compare_user ik.Ikey.user_key hi < 0)
+      |> Seq.map (fun (ik, v) -> (Ikey.encode ik, v))
     in
     let table_seqs =
       Array.to_list b.levels
@@ -872,10 +922,10 @@ let visible_seq t ~lo ~hi ~snapshot =
            (List.filter_map (fun (m : Table.meta) ->
                 if Table.overlaps m ~lo ~hi:(hi ^ "\255") then
                   Some
-                    (Table.Reader.iter_from (reader_of t m)
-                       ~category:Io_stats.Read_path ~lo ()
-                    |> Seq.take_while (fun ((ik : Ikey.t), _) ->
-                           Ikey.compare_user ik.Ikey.user_key hi < 0))
+                    (Table.Reader.stream (reader_of t m)
+                       ~category:Io_stats.Read_path ~from ()
+                    |> Seq.take_while (fun (k, _) ->
+                           Ikey.compare_encoded_user hi_enc k > 0))
                 else None))
     in
     (Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:false
@@ -886,23 +936,25 @@ let visible_seq t ~lo ~hi ~snapshot =
   let merged = Seq.concat (List.to_seq (List.map bucket_seq relevant)) in
   (* Entries newer than the snapshot are skipped (§III-D sequence-number
      rule); among the rest the first (newest) version per user key decides,
-     and tombstones are dropped. *)
+     and tombstones are dropped. Only emitted keys get unescaped. *)
   let rec visible last seq () =
     match seq () with
     | Seq.Nil -> Seq.Nil
-    | Seq.Cons (((ik : Ikey.t), v), rest) ->
-      if Int64.compare ik.Ikey.seq snapshot > 0 then visible last rest ()
+    | Seq.Cons ((k, v), rest) ->
+      if Int64.compare (Ikey.encoded_seq k) snapshot > 0 then
+        visible last rest ()
       else begin
         let dup =
           match last with
-          | Some k -> String.equal k ik.Ikey.user_key
+          | Some prev -> Ikey.encoded_same_user prev k
           | None -> false
         in
-        let last = Some ik.Ikey.user_key in
+        let last = Some k in
         if dup then visible last rest ()
         else
-          match ik.Ikey.kind with
-          | Ikey.Value -> Seq.Cons ((ik.Ikey.user_key, v), visible last rest)
+          match Ikey.encoded_kind k with
+          | Ikey.Value ->
+            Seq.Cons ((Ikey.user_key_of_encoded k, v), visible last rest)
           | Ikey.Deletion -> visible last rest ()
       end
   in

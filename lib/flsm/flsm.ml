@@ -164,14 +164,16 @@ let observe_key t key =
 let rec split_fragment t ~category (meta : Table.meta) ~at =
   ignore category;
   let reader = reader_of t meta in
+  let at_enc = Ikey.encode_user at in
   let build side_name pred =
     let b =
       Table.Builder.create t.env ~name:side_name ~category:Io_stats.Split
         ~bits_per_key:t.cfg.bits_per_key ~expected_keys:(max 64 meta.Table.entry_count) ()
     in
     Seq.iter
-      (fun ((ik : Ikey.t), v) -> if pred ik.Ikey.user_key then Table.Builder.add b ik v)
-      (Table.Reader.iter_from reader ~category:Io_stats.Split ());
+      (fun (key, value) ->
+        if pred key then Table.Builder.add_encoded b ~key ~value)
+      (Table.Reader.stream reader ~category:Io_stats.Split ~fill_cache:false ());
     if Table.Builder.entry_count b > 0 then Some (Table.Builder.finish b)
     else begin
       Table.Builder.abandon b;
@@ -180,8 +182,12 @@ let rec split_fragment t ~category (meta : Table.meta) ~at =
   in
   (* The caller deletes [meta] once the manifest edits replacing it are
      durable. *)
-  let left = build (fresh_table_name t) (fun k -> String.compare k at < 0) in
-  let right = build (fresh_table_name t) (fun k -> String.compare k at >= 0) in
+  let left =
+    build (fresh_table_name t) (fun k -> Ikey.compare_encoded_user at_enc k > 0)
+  in
+  let right =
+    build (fresh_table_name t) (fun k -> Ikey.compare_encoded_user at_enc k <= 0)
+  in
   (left, right)
 
 and commit_guards t level =
@@ -287,14 +293,16 @@ let flush_mem t =
   end
 
 let table_seq t ~category meta =
-  Table.Reader.iter_from (reader_of t meta) ~category ()
+  Table.Reader.stream (reader_of t meta) ~category ~fill_cache:false ()
 
-(* Partition a merged entry sequence by the guards of [level], appending one
-   fragment per span. *)
+(* Partition a merged (encoded) entry sequence by the guards of [level],
+   appending one fragment per span. *)
 let emit_into_level t ~category level entries ~expected =
   commit_guards t level;
   let lvl = t.levels.(level) in
   let spans = Array.of_list lvl.spans in
+  (* Guards encoded once; the per-entry span test then runs on raw bytes. *)
+  let guard_enc = Array.map (fun s -> Ikey.encode_user s.guard) spans in
   let n = Array.length spans in
   (* For each span, collect its slice of the iterator lazily by walking the
      merged sequence once. *)
@@ -317,15 +325,15 @@ let emit_into_level t ~category level entries ~expected =
     (* Largest span index whose guard <= key. Spans are sorted; linear
        advance suffices because entries arrive in key order. *)
     let rec advance i =
-      if i + 1 < n && String.compare spans.(i + 1).guard key <= 0 then
+      if i + 1 < n && Ikey.compare_encoded_user guard_enc.(i + 1) key <= 0 then
         advance (i + 1)
       else i
     in
     advance !current
   in
   Seq.iter
-    (fun ((ik : Ikey.t), v) ->
-      let target = span_for ik.Ikey.user_key in
+    (fun (key, value) ->
+      let target = span_for key in
       if target <> !current then begin
         finish ();
         current := target
@@ -342,7 +350,7 @@ let emit_into_level t ~category level entries ~expected =
           builder := Some b';
           b'
       in
-      Table.Builder.add b ik v)
+      Table.Builder.add_encoded b ~key ~value)
     entries;
   finish ()
 
@@ -608,10 +616,13 @@ let get t key =
   | Some (Ikey.Value, v) -> Some v
   | Some (Ikey.Deletion, _) -> None
   | None ->
+    (* One encoded seek target serves every fragment probe on the way down. *)
+    let target = Ikey.encode_seek key ~seq:snapshot in
     let check_meta (m : Table.meta) =
       if not (Table.overlaps m ~lo:key ~hi:key) then None
       else
-        Table.Reader.get (reader_of t m) ~category:Io_stats.Read_path key ~snapshot
+        Table.Reader.get_encoded (reader_of t m) ~category:Io_stats.Read_path
+          target
     in
     let rec check_list = function
       | [] -> `Miss
@@ -639,11 +650,14 @@ let get t key =
 
 let scan t ~lo ~hi ?(limit = max_int) () =
   let snapshot = t.seq in
+  let from = Ikey.encode_seek lo ~seq:Ikey.max_seq in
+  let hi_enc = Ikey.encode_user hi in
   let mem_seq =
     Skiplist.to_sorted_seq t.mem
     |> Seq.filter (fun ((ik : Ikey.t), _) ->
            Ikey.compare_user ik.Ikey.user_key lo >= 0
            && Ikey.compare_user ik.Ikey.user_key hi < 0)
+    |> Seq.map (fun (ik, v) -> (Ikey.encode ik, v))
   in
   let frag_seqs =
     let spans_overlapping lvl =
@@ -665,10 +679,10 @@ let scan t ~lo ~hi ?(limit = max_int) () =
       (fun (m : Table.meta) ->
         if Table.overlaps m ~lo ~hi:(hi ^ "\255") then
           Some
-            (Table.Reader.iter_from (reader_of t m) ~category:Io_stats.Read_path
-               ~lo ()
-            |> Seq.take_while (fun ((ik : Ikey.t), _) ->
-                   Ikey.compare_user ik.Ikey.user_key hi < 0))
+            (Table.Reader.stream (reader_of t m) ~category:Io_stats.Read_path
+               ~from ()
+            |> Seq.take_while (fun (k, _) ->
+                   Ikey.compare_encoded_user hi_enc k > 0))
         else None)
       all_fragments
   in
@@ -679,19 +693,19 @@ let scan t ~lo ~hi ?(limit = max_int) () =
   let out = ref [] and n = ref 0 and last = ref None in
   (try
      Seq.iter
-       (fun ((ik : Ikey.t), v) ->
+       (fun (k, v) ->
          if !n >= limit then raise Exit;
-         if Int64.compare ik.Ikey.seq snapshot <= 0 then begin
+         if Int64.compare (Ikey.encoded_seq k) snapshot <= 0 then begin
            let dup =
              match !last with
-             | Some k -> String.equal k ik.Ikey.user_key
+             | Some prev -> Ikey.encoded_same_user prev k
              | None -> false
            in
            if not dup then begin
-             last := Some ik.Ikey.user_key;
-             match ik.Ikey.kind with
+             last := Some k;
+             match Ikey.encoded_kind k with
              | Ikey.Value ->
-               out := (ik.Ikey.user_key, v) :: !out;
+               out := (Ikey.user_key_of_encoded k, v) :: !out;
                incr n
              | Ikey.Deletion -> ()
            end

@@ -151,18 +151,18 @@ let flush_mem t =
     ignore (Wal.reclaim t.wal ~persisted_below:(Int64.add t.seq 1L))
   end
 
-(* Build one or more target-size output tables from a compacted entry
-   sequence. *)
-let write_outputs t ~category ~drop_tombstones entries =
+(* Build one or more target-size output tables from a compacted (encoded)
+   entry sequence. [expected_keys] sizes each output's bloom filter; callers
+   derive it from the inputs' entry counts and byte sizes instead of a
+   guessed constant. *)
+let write_outputs t ~category ~expected_keys entries =
   let outputs = ref [] in
   let builder = ref None in
   let start_builder () =
     let name = fresh_table_name t in
     let b =
       Table.Builder.create t.env ~name ~category
-        ~bits_per_key:t.cfg.bits_per_key
-        ~expected_keys:(max 64 (t.cfg.sstable_bytes / 64))
-        ()
+        ~bits_per_key:t.cfg.bits_per_key ~expected_keys ()
     in
     builder := Some b;
     b
@@ -177,10 +177,9 @@ let write_outputs t ~category ~drop_tombstones entries =
     | None -> ()
   in
   Seq.iter
-    (fun (ik, v) ->
-      ignore drop_tombstones;
+    (fun (key, value) ->
       let b = match !builder with Some b -> b | None -> start_builder () in
-      Table.Builder.add b ik v;
+      Table.Builder.add_encoded b ~key ~value;
       if Table.Builder.estimated_size b >= t.cfg.sstable_bytes then
         finish_builder ())
     entries;
@@ -188,7 +187,7 @@ let write_outputs t ~category ~drop_tombstones entries =
   List.rev !outputs
 
 let table_seq t ~category meta =
-  Table.Reader.iter_from (reader_of t meta) ~category ()
+  Table.Reader.stream (reader_of t meta) ~category ~fill_cache:false ()
 
 (* Insert [metas] into sorted level list (levels >= 1 stay sorted by
    smallest key). *)
@@ -253,9 +252,21 @@ let compact_level t level =
       Merge_iter.compact ~dedup_user_keys:true
         ~drop_tombstones:(not deeper_has_data) seqs
     in
+    (* Size each output's bloom from the inputs' observed entry density:
+       expected keys per output ≈ target bytes / average entry size. *)
+    let total_count =
+      List.fold_left
+        (fun acc (m : Table.meta) -> acc + m.Table.entry_count)
+        0 inputs
+    and total_bytes =
+      List.fold_left (fun acc (m : Table.meta) -> acc + m.Table.size) 0 inputs
+    in
+    let expected_keys =
+      max 64 (t.cfg.sstable_bytes * total_count / max 1 total_bytes)
+    in
     let outputs =
-      write_outputs t ~category:(Io_stats.Compaction target)
-        ~drop_tombstones:(not deeper_has_data) entries
+      write_outputs t ~category:(Io_stats.Compaction target) ~expected_keys
+        entries
     in
     (* Install: remove inputs, add outputs to target. *)
     if level = 0 then t.levels.(0) <- []
@@ -435,11 +446,13 @@ let get t key =
   | Some (Ikey.Value, v) -> Some v
   | Some (Ikey.Deletion, _) -> None
   | None ->
+    (* One encoded seek target serves every table probe on the way down. *)
+    let target = Ikey.encode_seek key ~seq:snapshot in
     let check_meta (m : Table.meta) =
       if not (Table.overlaps m ~lo:key ~hi:key) then None
       else
-        Table.Reader.get (reader_of t m) ~category:Io_stats.Read_path key
-          ~snapshot
+        Table.Reader.get_encoded (reader_of t m) ~category:Io_stats.Read_path
+          target
     in
     let rec check_l0 = function
       | [] -> check_levels 1
@@ -467,11 +480,14 @@ let get t key =
 
 let scan t ~lo ~hi ?(limit = max_int) () =
   let snapshot = t.seq in
+  let from = Ikey.encode_seek lo ~seq:Ikey.max_seq in
+  let hi_enc = Ikey.encode_user hi in
   let mem_seq =
     Skiplist.to_sorted_seq t.mem
     |> Seq.filter (fun ((ik : Ikey.t), _) ->
            Ikey.compare_user ik.Ikey.user_key lo >= 0
            && Ikey.compare_user ik.Ikey.user_key hi < 0)
+    |> Seq.map (fun (ik, v) -> (Ikey.encode ik, v))
   in
   let table_seqs =
     Array.to_list t.levels
@@ -480,10 +496,10 @@ let scan t ~lo ~hi ?(limit = max_int) () =
              (fun m ->
                if Table.overlaps m ~lo ~hi:(hi ^ "\255") then
                  Some
-                   (Table.Reader.iter_from (reader_of t m)
-                      ~category:Io_stats.Read_path ~lo ()
-                   |> Seq.take_while (fun ((ik : Ikey.t), _) ->
-                          Ikey.compare_user ik.Ikey.user_key hi < 0))
+                   (Table.Reader.stream (reader_of t m)
+                      ~category:Io_stats.Read_path ~from ()
+                   |> Seq.take_while (fun (k, _) ->
+                          Ikey.compare_encoded_user hi_enc k > 0))
                else None)
              level)
   in
@@ -495,19 +511,19 @@ let scan t ~lo ~hi ?(limit = max_int) () =
   let out = ref [] and n = ref 0 and last = ref None in
   (try
      Seq.iter
-       (fun ((ik : Ikey.t), v) ->
+       (fun (k, v) ->
          if !n >= limit then raise Exit;
-         if Int64.compare ik.Ikey.seq snapshot <= 0 then begin
+         if Int64.compare (Ikey.encoded_seq k) snapshot <= 0 then begin
            let dup =
              match !last with
-             | Some k -> String.equal k ik.Ikey.user_key
+             | Some prev -> Ikey.encoded_same_user prev k
              | None -> false
            in
            if not dup then begin
-             last := Some ik.Ikey.user_key;
-             match ik.Ikey.kind with
+             last := Some k;
+             match Ikey.encoded_kind k with
              | Ikey.Value ->
-               out := (ik.Ikey.user_key, v) :: !out;
+               out := (Ikey.user_key_of_encoded k, v) :: !out;
                incr n
              | Ikey.Deletion -> ()
            end

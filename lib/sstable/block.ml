@@ -57,6 +57,11 @@ let restart_info raw =
 
 let restart_offset raw restart_base i = Coding.get_fixed32 raw (restart_base + (4 * i))
 
+(* Full-block decodes performed (every [decode_all] call). Hot paths use
+   {!Cursor} and never bump this; the regression test in test_readpath holds
+   it still across a cache-hot get. *)
+let decode_count = Atomic.make 0
+
 (* Decode the entry at [off]; returns (key, value, next_off). [prev_key] is
    the fully reconstructed previous key for prefix sharing. *)
 let decode_entry raw ~prev_key off =
@@ -69,6 +74,7 @@ let decode_entry raw ~prev_key off =
   (key, value, off + vlen)
 
 let decode_all raw =
+  Atomic.incr decode_count;
   let _count, restart_base = restart_info raw in
   let rec loop off prev_key acc =
     if off >= restart_base then List.rev acc
@@ -107,3 +113,146 @@ let seek raw ~compare =
     in
     scan (restart_offset raw restart_base start) ""
   end
+
+module Cursor = struct
+  type t = {
+    raw : string;
+    restart_base : int;
+    restart_count : int;
+    mutable pos : int; (* offset of the next entry to parse *)
+    mutable key_buf : Bytes.t; (* reused across entries; prefix in place *)
+    mutable key_len : int;
+    mutable val_off : int;
+    mutable val_len : int;
+    mutable valid : bool;
+  }
+
+  let create raw =
+    let restart_count, restart_base = restart_info raw in
+    if restart_base < 0 then invalid_arg "Block.Cursor: bad restart array";
+    {
+      raw;
+      restart_base;
+      restart_count;
+      pos = 0;
+      key_buf = Bytes.create 64;
+      key_len = 0;
+      val_off = 0;
+      val_len = 0;
+      valid = false;
+    }
+
+  let valid t = t.valid
+
+  let reserve t n =
+    if Bytes.length t.key_buf < n then begin
+      let bigger = Bytes.create (max n (2 * Bytes.length t.key_buf)) in
+      Bytes.blit t.key_buf 0 bigger 0 t.key_len;
+      t.key_buf <- bigger
+    end
+
+  let next t =
+    if t.pos >= t.restart_base then begin
+      t.valid <- false;
+      false
+    end
+    else begin
+      let shared, off = Coding.get_varint t.raw t.pos in
+      let unshared, off = Coding.get_varint t.raw off in
+      let vlen, off = Coding.get_varint t.raw off in
+      if (t.valid && shared > t.key_len) || (not t.valid) && shared > 0 then
+        invalid_arg "Block.Cursor: shared prefix without predecessor";
+      if off + unshared + vlen > t.restart_base then
+        invalid_arg "Block.Cursor: entry overruns block";
+      reserve t (shared + unshared);
+      Bytes.blit_string t.raw off t.key_buf shared unshared;
+      t.key_len <- shared + unshared;
+      t.val_off <- off + unshared;
+      t.val_len <- vlen;
+      t.pos <- t.val_off + vlen;
+      t.valid <- true;
+      true
+    end
+
+  let rewind t =
+    t.pos <- 0;
+    t.key_len <- 0;
+    t.valid <- false
+
+  let key t = Bytes.sub_string t.key_buf 0 t.key_len
+
+  let key_length t = t.key_len
+
+  let key_bytes t = t.key_buf
+
+  let value t = String.sub t.raw t.val_off t.val_len
+
+  let value_length t = t.val_len
+
+  let compare_key t target =
+    let lt = String.length target in
+    let n = min t.key_len lt in
+    let rec loop i =
+      if i = n then Stdlib.compare t.key_len lt
+      else
+        let c =
+          Char.compare (Bytes.unsafe_get t.key_buf i) (String.unsafe_get target i)
+        in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+  (* Compare the key stored at restart [i] against [target] straight out of
+     the raw block: restart entries carry their full key (shared = 0), so no
+     reconstruction or copy is needed. *)
+  let compare_restart t i target =
+    let off = restart_offset t.raw t.restart_base i in
+    let shared, off = Coding.get_varint t.raw off in
+    let unshared, off = Coding.get_varint t.raw off in
+    let _vlen, off = Coding.get_varint t.raw off in
+    if shared <> 0 then invalid_arg "Block.Cursor: restart with shared prefix";
+    let lt = String.length target in
+    let n = min unshared lt in
+    let rec loop i =
+      if i = n then Stdlib.compare unshared lt
+      else
+        let c =
+          Char.compare
+            (String.unsafe_get t.raw (off + i))
+            (String.unsafe_get target i)
+        in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+  let seek t target =
+    if t.restart_count = 0 || t.restart_base = 0 then begin
+      (* No entries (an empty builder still emits one restart slot). *)
+      t.valid <- false;
+      false
+    end
+    else begin
+      let start =
+        if compare_restart t 0 target >= 0 then 0
+        else begin
+          (* last restart whose key < target *)
+          let rec bs lo hi =
+            if hi - lo <= 1 then lo
+            else
+              let mid = (lo + hi) / 2 in
+              if compare_restart t mid target < 0 then bs mid hi else bs lo mid
+          in
+          bs 0 t.restart_count
+        end
+      in
+      t.pos <- restart_offset t.raw t.restart_base start;
+      t.key_len <- 0;
+      t.valid <- false;
+      let rec scan () =
+        if not (next t) then false
+        else if compare_key t target >= 0 then true
+        else scan ()
+      in
+      scan ()
+    end
+end

@@ -4,7 +4,12 @@
     {!Table_format.restart_interval} entries a restart point stores the full
     key so that readers can binary-search restarts and then scan forward.
     Keys here are opaque byte strings (the table layer passes encoded
-    internal keys). *)
+    internal keys).
+
+    Hot paths read blocks through {!Cursor}, which reconstructs prefix-shared
+    keys in place into one reusable buffer and compares keys without
+    materializing them; {!decode_all} and {!seek} remain for tests and
+    tools. *)
 
 module Builder : sig
   type t
@@ -22,8 +27,55 @@ module Builder : sig
   (** Raw block bytes (no CRC trailer); the builder must not be reused. *)
 end
 
+module Cursor : sig
+  type t
+  (** A mutable cursor over one raw (already CRC-verified) block. Creating
+      one allocates only the cursor record and a small key buffer; stepping
+      and seeking allocate nothing, and {!key}/{!value} materialize strings
+      only when called. *)
+
+  val create : string -> t
+  (** Positioned before the first entry; call {!next} or {!seek}. *)
+
+  val valid : t -> bool
+
+  val next : t -> bool
+  (** Advance to the next entry; [false] (and invalid) at the end. *)
+
+  val rewind : t -> unit
+  (** Back to before the first entry. *)
+
+  val seek : t -> string -> bool
+  (** [seek t target] positions at the first entry with key [>= target]
+      (bytewise), using restart-point binary search directly over the raw
+      bytes followed by a forward scan; [false] if no such entry. *)
+
+  val key : t -> string
+  (** The current key (fresh string). *)
+
+  val key_bytes : t -> Bytes.t
+  (** The shared key buffer — only the first {!key_length} bytes are
+      meaningful, and only until the cursor moves. Do not mutate. *)
+
+  val key_length : t -> int
+
+  val compare_key : t -> string -> int
+  (** Bytewise comparison of the current key against a target, without
+      materializing the key. *)
+
+  val value : t -> string
+  (** The current value (fresh string). *)
+
+  val value_length : t -> int
+end
+
 val decode_all : string -> (string * string) list
-(** All entries of a raw block in order. *)
+(** All entries of a raw block in order. Counts into {!decode_count};
+    test/tool use only — hot paths must use {!Cursor}. *)
+
+val decode_count : int Atomic.t
+(** Number of {!decode_all} calls since start; regression tests assert the
+    read hot path leaves it untouched. *)
 
 val seek : string -> compare:(string -> int) -> (string * string) option
 (** [seek raw ~compare] returns the first entry whose key [k] satisfies

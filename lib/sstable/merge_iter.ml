@@ -4,79 +4,90 @@ module Ikey = Wip_util.Ikey
    O(1) and delete-min amortises to O(log k), so each emitted element costs
    O(log k) instead of the O(k) fold + fresh List.filter allocation of the
    previous linear scan — the difference shows at split/merge time, when a
-   bucket's every sublevel joins the merge. *)
-type stream = { head : Ikey.t * string; tail : (Ikey.t * string) Seq.t }
+   bucket's every sublevel joins the merge. Streams carry *encoded* internal
+   keys compared bytewise (the encoding is memcomparable, see
+   {!Wip_util.Ikey}), so merging materializes no [Ikey.t] records. *)
+type ('k, 'v) stream = { head : 'k * 'v; tail : ('k * 'v) Seq.t }
 
 let stream_of_seq seq =
   match seq () with
   | Seq.Nil -> None
   | Seq.Cons (head, tail) -> Some { head; tail }
 
-let stream_compare a b = Ikey.compare (fst a.head) (fst b.head)
-
 (* Non-empty heap; the whole heap is a [heap option]. *)
-type heap = Node of stream * heap list
+type ('k, 'v) heap = Node of ('k, 'v) stream * ('k, 'v) heap list
 
-let meld (Node (sa, ca) as a) (Node (sb, cb) as b) =
-  if stream_compare sa sb <= 0 then Node (sa, b :: ca) else Node (sb, a :: cb)
+let meld ~compare (Node (sa, ca) as a) (Node (sb, cb) as b) =
+  if compare (fst sa.head) (fst sb.head) <= 0 then Node (sa, b :: ca)
+  else Node (sb, a :: cb)
 
-let insert s = function
+let insert ~compare s = function
   | None -> Some (Node (s, []))
-  | Some h -> Some (meld (Node (s, [])) h)
+  | Some h -> Some (meld ~compare (Node (s, [])) h)
 
 (* Standard two-pass pairing: meld children pairwise left to right, then
    fold the pair melds together right to left. *)
-let rec merge_pairs = function
+let rec merge_pairs ~compare = function
   | [] -> None
   | [ h ] -> Some h
   | a :: b :: rest -> (
-    let ab = meld a b in
-    match merge_pairs rest with None -> Some ab | Some r -> Some (meld ab r))
+    let ab = meld ~compare a b in
+    match merge_pairs ~compare rest with
+    | None -> Some ab
+    | Some r -> Some (meld ~compare ab r))
 
-let merge seqs =
+let merge_by ~compare seqs =
   let heap =
     List.fold_left
       (fun acc seq ->
-        match stream_of_seq seq with None -> acc | Some s -> insert s acc)
+        match stream_of_seq seq with
+        | None -> acc
+        | Some s -> insert ~compare s acc)
       None seqs
   in
   let rec next heap () =
     match heap with
     | None -> Seq.Nil
     | Some (Node (s, children)) ->
-      let rest = merge_pairs children in
+      let rest = merge_pairs ~compare children in
       let heap' =
         match stream_of_seq s.tail with
-        | Some s' -> insert s' rest
+        | Some s' -> insert ~compare s' rest
         | None -> rest
       in
       Seq.Cons (s.head, next heap')
   in
   next heap
 
+let compare_encoded (a : string) b = String.compare a b
+
+let merge seqs = merge_by ~compare:compare_encoded seqs
+
 let compact ?(dedup_user_keys = true) ?(drop_tombstones = false)
     ?(snapshot_floor = Int64.max_int) seqs =
   let merged = merge seqs in
-  (* [emitted_below_floor]: a version of [last_user_key] with seq <= floor has
-     already been decided (kept or tombstone-dropped); all older ones are
-     shadowed. Versions with seq > floor always survive — an open snapshot may
-     still need them. *)
-  let rec filter last_user_key emitted_below_floor seq () =
+  let no_floor = Int64.equal snapshot_floor Int64.max_int in
+  (* [emitted_below_floor]: a version of the last user key with seq <= floor
+     has already been decided (kept or tombstone-dropped); all older ones are
+     shadowed. Versions with seq > floor always survive — an open snapshot
+     may still need them. Everything reads off the encoded keys: user-key
+     identity bytewise, sequence and kind from the trailer. *)
+  let rec filter last_key emitted_below_floor seq () =
     match seq () with
     | Seq.Nil -> Seq.Nil
-    | Seq.Cons (((ik, _v) as entry), rest) ->
+    | Seq.Cons (((k, _v) as entry), rest) ->
       let same_key =
-        match last_user_key with
-        | Some k -> String.equal k ik.Ikey.user_key
+        match last_key with
+        | Some prev -> Ikey.encoded_same_user prev k
         | None -> false
       in
       let emitted_below_floor = same_key && emitted_below_floor in
-      let key' = Some ik.Ikey.user_key in
-      if Int64.compare ik.Ikey.seq snapshot_floor > 0 then
-        Seq.Cons (entry, filter key' emitted_below_floor rest)
-      else if dedup_user_keys && emitted_below_floor then
-        filter key' true rest ()
-      else if drop_tombstones && ik.Ikey.kind = Ikey.Deletion then
+      let key' = Some k in
+      if
+        (not no_floor) && Int64.compare (Ikey.encoded_seq k) snapshot_floor > 0
+      then Seq.Cons (entry, filter key' emitted_below_floor rest)
+      else if dedup_user_keys && emitted_below_floor then filter key' true rest ()
+      else if drop_tombstones && Ikey.encoded_kind k = Ikey.Deletion then
         filter key' true rest ()
       else Seq.Cons (entry, filter key' true rest)
   in

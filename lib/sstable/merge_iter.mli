@@ -1,20 +1,32 @@
-(** K-way merge of internal-key-ordered sequences.
+(** K-way merge of ordered sequences (pairing heap).
 
-    Inputs must each be sorted by {!Wip_util.Ikey.compare}. The merged output
-    preserves that order; with [dedup_user_keys] the newest version of each
-    user key survives and older versions are dropped; with [drop_tombstones]
-    surviving deletion markers are also elided (legal only when merging into
-    the bottommost data of a key range). *)
+    The store-facing entry points ({!merge}, {!compact}) operate on
+    {e encoded} internal keys — raw strings in memcomparable form (see
+    {!Wip_util.Ikey}) compared with [String.compare] — so flush, compaction
+    and split streams never materialize an [Ikey.t] per element.
+    {!merge_by} is the generic core for other orderings (e.g. plain user-key
+    merges across shards). *)
 
-val merge : (Wip_util.Ikey.t * string) Seq.t list -> (Wip_util.Ikey.t * string) Seq.t
+val merge_by :
+  compare:('k -> 'k -> int) -> ('k * 'v) Seq.t list -> ('k * 'v) Seq.t
+(** Inputs must each be sorted by [compare] on their first components; the
+    merged output preserves that order (stable across inputs only up to
+    [compare]-equality). *)
+
+val merge : (string * string) Seq.t list -> (string * string) Seq.t
+(** {!merge_by} with [String.compare] — encoded internal-key order. *)
 
 val compact :
   ?dedup_user_keys:bool ->
   ?drop_tombstones:bool ->
   ?snapshot_floor:int64 ->
-  (Wip_util.Ikey.t * string) Seq.t list ->
-  (Wip_util.Ikey.t * string) Seq.t
-(** [snapshot_floor] (default: keep-newest-only regardless) protects
+  (string * string) Seq.t list ->
+  (string * string) Seq.t
+(** Merge plus version GC, all on encoded keys. With [dedup_user_keys] the
+    newest version of each user key survives and older versions are dropped;
+    with [drop_tombstones] surviving deletion markers are also elided (legal
+    only when merging into the bottommost data of a key range).
+    [snapshot_floor] (default: keep-newest-only regardless) protects
     versions newer than the floor from dedup so that open snapshots keep
     reading consistent data; versions at or below the floor collapse to the
     newest one. *)

@@ -21,27 +21,25 @@ module Builder = struct
     mutable block : Block.Builder.t;
     mutable index_entries : (string * Table_format.block_handle) list; (* rev *)
     mutable entry_count : int;
-    mutable smallest : string option;
-    mutable largest : string;
-    mutable last_ikey : Ikey.t option;
+    mutable smallest_enc : string option;
+    mutable largest_enc : string;
     mutable written : int;
   }
 
   let create env ~name ~category ?(block_size = 4096) ?(bits_per_key = 10)
-      ?(expected_keys = 4096) () =
+      ~expected_keys () =
     {
       env;
       name;
       category;
       block_size;
       writer = Env.create_file env name;
-      bloom = Wip_bloom.Bloom.create ~bits_per_key ~expected_keys;
+      bloom = Wip_bloom.Bloom.create ~bits_per_key ~expected_keys:(max 1 expected_keys);
       block = Block.Builder.create ();
       index_entries = [];
       entry_count = 0;
-      smallest = None;
-      largest = "";
-      last_ikey = None;
+      smallest_enc = None;
+      largest_enc = "";
       written = 0;
     }
 
@@ -58,28 +56,28 @@ module Builder = struct
       t.block <- Block.Builder.create ()
     end
 
-  let add t ikey value =
-    (match t.last_ikey with
-    | Some prev -> assert (Ikey.compare prev ikey < 0)
-    | None -> ());
-    let encoded = Ikey.encode ikey in
-    Block.Builder.add t.block ~key:encoded ~value;
-    Wip_bloom.Bloom.add t.bloom ikey.Ikey.user_key;
-    if t.smallest = None then t.smallest <- Some ikey.Ikey.user_key;
-    t.largest <- ikey.Ikey.user_key;
-    t.last_ikey <- Some ikey;
+  let add_encoded t ~key ~value =
+    assert (t.entry_count = 0 || String.compare t.largest_enc key < 0);
+    Block.Builder.add t.block ~key ~value;
+    (* The bloom hashes the escaped-user slice of the encoded key; probes
+       hash the same slice of the seek target, so no unescaping on either
+       side. *)
+    Wip_bloom.Bloom.add_sub t.bloom key ~pos:0
+      ~len:(String.length key - Ikey.trailer_length);
+    if t.smallest_enc = None then t.smallest_enc <- Some key;
+    t.largest_enc <- key;
     t.entry_count <- t.entry_count + 1;
     if Block.Builder.size_estimate t.block >= t.block_size then
-      flush_block t ~last_key:encoded
+      flush_block t ~last_key:key
+
+  let add t ikey value = add_encoded t ~key:(Ikey.encode ikey) ~value
 
   let entry_count t = t.entry_count
 
   let estimated_size t = t.written + Block.Builder.size_estimate t.block
 
   let finish t =
-    (match t.last_ikey with
-    | Some ikey -> flush_block t ~last_key:(Ikey.encode ikey)
-    | None -> ());
+    if t.entry_count > 0 then flush_block t ~last_key:t.largest_enc;
     (* Filter block *)
     let filter_raw = Wip_bloom.Bloom.encode t.bloom in
     let filter_sealed = Table_format.seal_block filter_raw in
@@ -110,8 +108,13 @@ module Builder = struct
         Table_format.index = index_handle;
         filter = filter_handle;
         entry_count = t.entry_count;
-        smallest = (match t.smallest with Some s -> s | None -> "");
-        largest = t.largest;
+        smallest =
+          (match t.smallest_enc with
+          | Some enc -> Ikey.user_key_of_encoded enc
+          | None -> "");
+        largest =
+          (if t.entry_count = 0 then ""
+           else Ikey.user_key_of_encoded t.largest_enc);
       }
     in
     let footer_bytes = Table_format.encode_footer footer in
@@ -157,27 +160,33 @@ module Reader = struct
     let size = Env.file_size reader in
     (* Discover the footer: last 4 bytes give the total footer length. *)
     let tail =
-      Env.read reader ~category:Io_stats.Manifest ~pos:(size - 4) ~len:4
+      Env.read reader ~category:Io_stats.Table_meta ~pos:(size - 4) ~len:4
     in
     let footer_len = Wip_util.Coding.get_fixed32 tail 0 in
     let footer_bytes =
-      Env.read reader ~category:Io_stats.Manifest ~pos:(size - footer_len)
+      Env.read reader ~category:Io_stats.Table_meta ~pos:(size - footer_len)
         ~len:footer_len
     in
     let footer = Table_format.decode_footer footer_bytes in
     let read_handle (h : Table_format.block_handle) =
       Table_format.unseal_block
-        (Env.read reader ~category:Io_stats.Manifest ~pos:h.offset ~len:h.size)
+        (Env.read reader ~category:Io_stats.Table_meta ~pos:h.offset
+           ~len:h.size)
     in
     let index_raw = read_handle footer.Table_format.index in
     let filter = read_handle footer.Table_format.filter in
     let index =
-      Block.decode_all index_raw
-      |> List.map (fun (key, value) ->
-             let offset, off = Wip_util.Coding.get_varint value 0 in
-             let bsize, _ = Wip_util.Coding.get_varint value off in
-             (key, { Table_format.offset; size = bsize }))
-      |> Array.of_list
+      let cur = Block.Cursor.create index_raw in
+      let slots = ref [] in
+      while Block.Cursor.next cur do
+        let value = Block.Cursor.value cur in
+        let offset, off = Wip_util.Coding.get_varint value 0 in
+        let bsize, _ = Wip_util.Coding.get_varint value off in
+        slots :=
+          (Block.Cursor.key cur, { Table_format.offset; size = bsize })
+          :: !slots
+      done;
+      Array.of_list (List.rev !slots)
     in
     {
       env;
@@ -197,10 +206,27 @@ module Reader = struct
 
   let meta t = t.meta
 
-  let may_contain t user_key =
-    Wip_bloom.Bloom.mem_encoded t.filter user_key
+  let stats t = Env.stats t.env
 
-  let read_block t ~category (handle : Table_format.block_handle) =
+  (* Probe the bloom with the escaped-user slice of an encoded (seek) key —
+     the same bytes the builder hashed. *)
+  let may_contain_encoded t target =
+    let len = String.length target - Ikey.trailer_length in
+    let maybe = Wip_bloom.Bloom.mem_encoded_sub t.filter target ~pos:0 ~len in
+    Io_stats.record_bloom_probe (stats t) ~negative:(not maybe);
+    maybe
+
+  let may_contain t user_key =
+    let eu = Ikey.encode_user user_key in
+    let maybe =
+      Wip_bloom.Bloom.mem_encoded_sub t.filter eu ~pos:0
+        ~len:(String.length eu)
+    in
+    Io_stats.record_bloom_probe (stats t) ~negative:(not maybe);
+    maybe
+
+  let read_block t ~category ?(fill_cache = true) (handle : Table_format.block_handle) =
+    Io_stats.record_block_fetch (stats t);
     let fetch () =
       guard ~file:t.meta.name @@ fun () ->
       Table_format.unseal_block
@@ -208,96 +234,108 @@ module Reader = struct
     in
     match t.cache with
     | None -> fetch ()
-    | Some cache -> (
-      match
-        Wip_storage.Block_cache.find cache ~file:t.meta.name ~offset:handle.offset
-      with
+    | Some cache ->
+      let find =
+        if fill_cache then Wip_storage.Block_cache.find
+        else Wip_storage.Block_cache.find_no_fill
+      in
+      (match find cache ~file:t.meta.name ~offset:handle.offset with
       | Some raw -> raw
       | None ->
         let raw = fetch () in
-        Wip_storage.Block_cache.add cache ~file:t.meta.name ~offset:handle.offset raw;
+        if fill_cache then
+          Wip_storage.Block_cache.add cache ~file:t.meta.name
+            ~offset:handle.offset raw;
         raw)
 
-  (* First index slot whose last-key is >= target (encoded ikey order via
-     decode + Ikey.compare). *)
-  let index_slot t target_ikey =
-    let cmp_slot i =
-      let last_key, _ = t.index.(i) in
-      Ikey.compare (Ikey.decode last_key) target_ikey
-    in
+  (* First index slot whose last-key is >= target; encoded keys compare raw. *)
+  let index_slot t target =
     let n = Array.length t.index in
     if n = 0 then None
     else begin
-      (* binary search: smallest i with cmp_slot i >= 0 *)
+      (* binary search: smallest i with last_key(i) >= target *)
       let rec bs lo hi =
         if lo >= hi then lo
         else
           let mid = (lo + hi) / 2 in
-          if cmp_slot mid < 0 then bs (mid + 1) hi else bs lo mid
+          if String.compare (fst t.index.(mid)) target < 0 then bs (mid + 1) hi
+          else bs lo mid
       in
       let i = bs 0 n in
       if i >= n then None else Some i
     end
 
-  let get t ~category user_key ~snapshot =
-    if not (may_contain t user_key) then None
+  (* [target] must be an {!Ikey.encode_seek} result. The first entry >= target
+     that still shares the user key necessarily has sequence <= the snapshot
+     (the encoding orders sequences descending), so a single cursor seek is
+     the whole lookup: no skip loop, no block decode, no Ikey.t. *)
+  let get_encoded t ~category ?(filter_checked = false) target =
+    if (not filter_checked) && not (may_contain_encoded t target) then None
     else begin
-      let target = Ikey.make user_key ~seq:snapshot in
-      match guard ~file:t.meta.name (fun () -> index_slot t target) with
-      | None -> None
+      let miss () =
+        (* The filter said maybe, the table had nothing: a false positive. *)
+        Io_stats.record_bloom_false_positive (stats t);
+        None
+      in
+      match index_slot t target with
+      | None -> miss ()
       | Some slot ->
         let _, handle = t.index.(slot) in
         let raw = read_block t ~category handle in
-        let compare encoded = Ikey.compare (Ikey.decode encoded) target in
-        let rec first_visible entry =
-          match entry with
-          | None -> None
-          | Some (encoded, value) ->
-            let ik = Ikey.decode encoded in
-            if not (String.equal ik.Ikey.user_key user_key) then None
-            else if Int64.compare ik.Ikey.seq snapshot <= 0 then
-              Some (ik.Ikey.kind, value, ik.Ikey.seq)
-            else
-              (* Newer than the snapshot: advance linearly. *)
-              advance_from encoded raw
-        and advance_from encoded raw =
-          let entries = Block.decode_all raw in
-          let rec skip = function
-            | [] -> None
-            | (k, _) :: rest when String.compare k encoded <= 0 -> skip rest
-            | (k, v) :: _ -> first_visible (Some (k, v))
-          in
-          skip entries
-        in
-        first_visible (Block.seek raw ~compare)
+        guard ~file:t.meta.name @@ fun () ->
+        let cur = Block.Cursor.create raw in
+        if not (Block.Cursor.seek cur target) then miss ()
+        else begin
+          let buf = Block.Cursor.key_bytes cur in
+          let len = Block.Cursor.key_length cur in
+          if not (Ikey.encoded_same_user_bytes buf ~len target) then miss ()
+          else
+            Some
+              ( Ikey.encoded_kind_bytes buf ~len,
+                Block.Cursor.value cur,
+                Ikey.encoded_seq_bytes buf ~len )
+        end
     end
 
-  let iter_from t ~category ?(lo = "") () =
-    let target = Ikey.make lo ~seq:Ikey.max_seq in
+  let get t ~category user_key ~snapshot =
+    get_encoded t ~category (Ikey.encode_seek user_key ~seq:snapshot)
+
+  (* One-shot sequence over encoded entries: lazy block loads, one mutable
+     cursor per block. Ephemeral by construction — every internal consumer is
+     single-pass (flush, compaction, split, scan assembly), and the public
+     store API returns lists, so nothing ever re-forces a prefix. *)
+  let stream t ~category ?(fill_cache = true) ?(from = "") () =
     let n = Array.length t.index in
     let start_slot =
-      match index_slot t target with Some s -> s | None -> n
+      if from = "" then 0
+      else match index_slot t from with Some s -> s | None -> n
     in
-    (* Lazily walk blocks from start_slot, filtering entries < target. *)
-    let rec block_seq slot () =
+    let rec from_slot slot seek_target () =
       if slot >= n then Seq.Nil
       else begin
         let _, handle = t.index.(slot) in
-        let raw = read_block t ~category handle in
-        let entries =
-          Block.decode_all raw
-          |> List.filter_map (fun (encoded, value) ->
-                 let ik = Ikey.decode encoded in
-                 if Ikey.compare ik target >= 0 then Some (ik, value) else None)
+        let raw = read_block t ~category ~fill_cache handle in
+        guard ~file:t.meta.name @@ fun () ->
+        let cur = Block.Cursor.create raw in
+        let positioned =
+          match seek_target with
+          | Some target -> Block.Cursor.seek cur target
+          | None -> Block.Cursor.next cur
         in
-        let rec items = function
-          | [] -> block_seq (slot + 1)
-          | (ik, v) :: rest -> fun () -> Seq.Cons ((ik, v), items rest)
-        in
-        items entries ()
+        if positioned then step cur slot ()
+        else from_slot (slot + 1) None ()
       end
+    and step cur slot () =
+      let entry = (Block.Cursor.key cur, Block.Cursor.value cur) in
+      let more = guard ~file:t.meta.name (fun () -> Block.Cursor.next cur) in
+      if more then Seq.Cons (entry, step cur slot)
+      else Seq.Cons (entry, from_slot (slot + 1) None)
     in
-    block_seq start_slot
+    from_slot start_slot (if from = "" then None else Some from)
+
+  let iter_from t ~category ?(lo = "") () =
+    let from = if lo = "" then "" else Ikey.encode_seek lo ~seq:Ikey.max_seq in
+    stream t ~category ~from () |> Seq.map (fun (k, v) -> (Ikey.decode k, v))
 
   let close t = Env.close_reader t.reader
 end

@@ -2,8 +2,13 @@
 
     A table stores internal-key/value entries in ascending
     {!Wip_util.Ikey.compare} order, carved into prefix-compressed blocks with
-    an index block, a bloom filter over user keys, and a CRC-protected
-    footer. Tables are immutable once finished. *)
+    an index block, a bloom filter over (escaped) user keys, and a
+    CRC-protected footer. Tables are immutable once finished.
+
+    Keys travel through this layer in their {e encoded} memcomparable form
+    (see {!Wip_util.Ikey}): the reader compares raw bytes with
+    [String.compare] and never decodes on the point-get, scan or compaction
+    paths. *)
 
 type meta = {
   name : string;  (** file name within the {!Wip_storage.Env.t} *)
@@ -22,13 +27,21 @@ module Builder : sig
     category:Wip_storage.Io_stats.category ->
     ?block_size:int ->
     ?bits_per_key:int ->
-    ?expected_keys:int ->
+    expected_keys:int ->
     unit ->
     t
-  (** [block_size] defaults to 4096 bytes, [bits_per_key] to 10. *)
+  (** [block_size] defaults to 4096 bytes, [bits_per_key] to 10.
+      [expected_keys] sizes the bloom filter and is required: every call
+      site knows (or can bound) its key count, and a defaulted guess either
+      wastes filter bytes or inflates the false-positive rate. *)
 
   val add : t -> Wip_util.Ikey.t -> string -> unit
   (** Keys must arrive in strictly ascending internal-key order. *)
+
+  val add_encoded : t -> key:string -> value:string -> unit
+  (** Like {!add} but takes the already encoded internal key — the form
+      compaction and split streams carry, so re-writing an entry encodes
+      nothing. *)
 
   val entry_count : t -> int
 
@@ -47,7 +60,7 @@ module Reader : sig
 
   val open_ : ?cache:Wip_storage.Block_cache.t -> Wip_storage.Env.t -> name:string -> t
   (** Reads footer, index and filter eagerly (accounted as
-      [Manifest] traffic); data blocks are read on demand, consulting
+      [Table_meta] traffic); data blocks are read on demand, consulting
       [cache] first when one is supplied (only device reads are charged to
       the {!Wip_storage.Io_stats.category}). *)
 
@@ -62,8 +75,40 @@ module Reader : sig
   (** Newest version of the user key with sequence [<= snapshot]. The bloom
       filter short-circuits definite misses without any data-block I/O. *)
 
+  val get_encoded :
+    t ->
+    category:Wip_storage.Io_stats.category ->
+    ?filter_checked:bool ->
+    string ->
+    (Wip_util.Ikey.kind * string * int64) option
+  (** [get_encoded t ~category target] with [target] an
+      {!Wip_util.Ikey.encode_seek} result: the allocation-lean form of
+      {!get}, letting callers build the seek target once and probe many
+      tables. [filter_checked] (default false) skips the bloom probe when
+      the caller already ran {!may_contain_encoded}. A false-positive probe
+      (maybe-answer but no entry) is recorded in the env's
+      {!Wip_storage.Io_stats.t}. *)
+
   val may_contain : t -> string -> bool
-  (** Bloom-filter check only. *)
+  (** Bloom-filter check only (records the probe in the env stats). *)
+
+  val may_contain_encoded : t -> string -> bool
+  (** {!may_contain} taking an encoded (seek) key instead of a user key. *)
+
+  val stream :
+    t ->
+    category:Wip_storage.Io_stats.category ->
+    ?fill_cache:bool ->
+    ?from:string ->
+    unit ->
+    (string * string) Seq.t
+  (** Encoded entries in order, starting at the first entry [>= from]
+      (an encoded seek key; [""] means the table start). Blocks are fetched
+      lazily, decoded through one reusable {!Block.Cursor} each, and with
+      [~fill_cache:false] the pass neither populates nor reorders the block
+      cache (scan-resistant mode for compaction/split readers). The
+      sequence is one-shot: it owns mutable cursors, so force it at most
+      once. *)
 
   val iter_from :
     t ->
@@ -71,8 +116,9 @@ module Reader : sig
     ?lo:string ->
     unit ->
     (Wip_util.Ikey.t * string) Seq.t
-  (** Entries in internal-key order, starting at the first entry whose user
-      key is [>= lo] (or the table start). Blocks are fetched lazily. *)
+  (** Decoding convenience over {!stream} (one {!Wip_util.Ikey.t} per
+      entry); [lo] is a user key. Test/tool use — hot paths consume
+      {!stream}. *)
 
   val close : t -> unit
 end

@@ -22,6 +22,8 @@ type t = {
   mutable used : int;
   mutable hits : int;
   mutable misses : int;
+  mutable bypasses : int; (* no-fill probes that missed (scan traffic) *)
+  mutable rejections : int; (* inserts dropped for exceeding capacity *)
 }
 
 let create ~capacity_bytes =
@@ -34,6 +36,8 @@ let create ~capacity_bytes =
     used = 0;
     hits = 0;
     misses = 0;
+    bypasses = 0;
+    rejections = 0;
   }
 
 let locked t f =
@@ -73,6 +77,21 @@ let find t ~file ~offset =
         t.misses <- t.misses + 1;
         None)
 
+(* Scan-resistant probe for sequential readers (compaction, splits, range
+   scans): a hit is served without promoting the entry, a miss is counted as
+   a bypass — not a miss — and the caller is expected not to insert the
+   block it then fetches, so one pass over a table cannot evict the
+   point-read working set. *)
+let find_no_fill t ~file ~offset =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table { file; offset } with
+      | Some node ->
+        t.hits <- t.hits + 1;
+        Some node.value
+      | None ->
+        t.bypasses <- t.bypasses + 1;
+        None)
+
 let rec evict_until_fits t =
   if t.used > t.capacity then
     match t.tail with
@@ -82,7 +101,9 @@ let rec evict_until_fits t =
     | None -> ()
 
 let add t ~file ~offset value =
-  if String.length value <= t.capacity then
+  if String.length value > t.capacity then
+    locked t (fun () -> t.rejections <- t.rejections + 1)
+  else
     locked t (fun () ->
         let key = { file; offset } in
         (match Hashtbl.find_opt t.table key with
@@ -107,6 +128,10 @@ let evict_file t file =
 let hits t = locked t (fun () -> t.hits)
 
 let misses t = locked t (fun () -> t.misses)
+
+let bypasses t = locked t (fun () -> t.bypasses)
+
+let rejections t = locked t (fun () -> t.rejections)
 
 let used_bytes t = locked t (fun () -> t.used)
 

@@ -14,10 +14,17 @@ val create : capacity_bytes:int -> t
 val find : t -> file:string -> offset:int -> string option
 (** Marks the entry most-recently-used on a hit. *)
 
+val find_no_fill : t -> file:string -> offset:int -> string option
+(** Scan-resistant probe: a hit counts in {!hits} but does not promote the
+    entry; a miss counts in {!bypasses} instead of {!misses}. Sequential
+    readers (compaction, splits) use this so one pass over a table neither
+    pollutes the recency order nor skews the point-read hit rate. *)
+
 val add : t -> file:string -> offset:int -> string -> unit
 (** Inserts (replacing any previous entry for the key) and evicts
     least-recently-used entries until the total payload fits the capacity.
-    Values larger than the whole capacity are not cached. *)
+    Values larger than the whole capacity are not cached; such inserts
+    count in {!rejections} rather than silently vanishing. *)
 
 val evict_file : t -> string -> unit
 (** Drop every block of a deleted file. *)
@@ -25,6 +32,12 @@ val evict_file : t -> string -> unit
 val hits : t -> int
 
 val misses : t -> int
+
+val bypasses : t -> int
+(** Misses of {!find_no_fill} probes (deliberate non-filling traffic). *)
+
+val rejections : t -> int
+(** Inserts dropped because the value alone exceeded the capacity. *)
 
 val used_bytes : t -> int
 

@@ -7,6 +7,7 @@ type category =
   | Split
   | Read_path
   | Manifest
+  | Table_meta
 
 (* Fixed slots for the scalar categories; per-level compaction traffic lives
    in growable arrays indexed by level. A per-record mutex makes every
@@ -25,10 +26,16 @@ type t = {
   mutable read_path_r : int;
   mutable manifest_w : int;
   mutable manifest_r : int;
+  mutable table_meta_w : int;
+  mutable table_meta_r : int;
   mutable level_w : int array; (* writes into level i *)
   mutable level_r : int array; (* reads from level i *)
   mutable syncs : int; (* durability barriers issued *)
   mutable faults : int; (* injected faults (crashes, I/O errors, bit flips) *)
+  mutable bloom_probes : int; (* bloom filter consultations on reads *)
+  mutable bloom_negatives : int; (* probes answered "definitely absent" *)
+  mutable bloom_fps : int; (* maybe-answers that then found nothing *)
+  mutable block_fetches : int; (* data-block requests (cache hits included) *)
 }
 
 let create () =
@@ -45,10 +52,16 @@ let create () =
     read_path_r = 0;
     manifest_w = 0;
     manifest_r = 0;
+    table_meta_w = 0;
+    table_meta_r = 0;
     level_w = Array.make 8 0;
     level_r = Array.make 8 0;
     syncs = 0;
     faults = 0;
+    bloom_probes = 0;
+    bloom_negatives = 0;
+    bloom_fps = 0;
+    block_fetches = 0;
   }
 
 let locked t f =
@@ -80,7 +93,8 @@ let record_write t cat n =
         t.level_r.(level) <- t.level_r.(level) + n
       | Split -> t.split_w <- t.split_w + n
       | Read_path -> t.read_path_w <- t.read_path_w + n
-      | Manifest -> t.manifest_w <- t.manifest_w + n)
+      | Manifest -> t.manifest_w <- t.manifest_w + n
+      | Table_meta -> t.table_meta_w <- t.table_meta_w + n)
 
 let record_read t cat n =
   locked t (fun () ->
@@ -93,9 +107,34 @@ let record_read t cat n =
         t.level_r.(level) <- t.level_r.(level) + n
       | Split -> t.split_r <- t.split_r + n
       | Read_path -> t.read_path_r <- t.read_path_r + n
-      | Manifest -> t.manifest_r <- t.manifest_r + n)
+      | Manifest -> t.manifest_r <- t.manifest_r + n
+      | Table_meta -> t.table_meta_r <- t.table_meta_r + n)
 
 let record_sync t = locked t (fun () -> t.syncs <- t.syncs + 1)
+
+let record_bloom_probe t ~negative =
+  locked t (fun () ->
+      t.bloom_probes <- t.bloom_probes + 1;
+      if negative then t.bloom_negatives <- t.bloom_negatives + 1)
+
+let record_bloom_false_positive t =
+  locked t (fun () -> t.bloom_fps <- t.bloom_fps + 1)
+
+let record_block_fetch t =
+  locked t (fun () -> t.block_fetches <- t.block_fetches + 1)
+
+let bloom_probe_count t = locked t (fun () -> t.bloom_probes)
+
+let bloom_negative_count t = locked t (fun () -> t.bloom_negatives)
+
+let bloom_false_positive_count t = locked t (fun () -> t.bloom_fps)
+
+let bloom_fp_rate t =
+  locked t (fun () ->
+      let maybes = t.bloom_probes - t.bloom_negatives in
+      if maybes <= 0 then 0.0 else float_of_int t.bloom_fps /. float_of_int maybes)
+
+let block_fetch_count t = locked t (fun () -> t.block_fetches)
 
 let record_fault t = locked t (fun () -> t.faults <- t.faults + 1)
 
@@ -107,15 +146,17 @@ let sum = Array.fold_left ( + ) 0
 
 let bytes_written t =
   locked t (fun () ->
-      t.wal_w + t.flush_w + t.split_w + t.manifest_w + sum t.level_w)
+      t.wal_w + t.flush_w + t.split_w + t.manifest_w + t.table_meta_w
+      + sum t.level_w)
 
 let store_bytes_written t =
-  locked t (fun () -> t.flush_w + t.split_w + t.manifest_w + sum t.level_w)
+  locked t (fun () ->
+      t.flush_w + t.split_w + t.manifest_w + t.table_meta_w + sum t.level_w)
 
 let bytes_read t =
   locked t (fun () ->
       t.wal_r + t.flush_r + t.split_r + t.read_path_r + t.manifest_r
-      + sum t.level_r)
+      + t.table_meta_r + sum t.level_r)
 
 let user_bytes t = locked t (fun () -> t.user)
 
@@ -123,7 +164,9 @@ let write_amplification t =
   locked t (fun () ->
       if t.user = 0 then 0.0
       else
-        let store_w = t.flush_w + t.split_w + t.manifest_w + sum t.level_w in
+        let store_w =
+          t.flush_w + t.split_w + t.manifest_w + t.table_meta_w + sum t.level_w
+        in
         float_of_int store_w /. float_of_int t.user)
 
 let written_by t cat =
@@ -138,7 +181,8 @@ let written_by t cat =
         if level < Array.length t.level_r then t.level_r.(level) else 0
       | Split -> t.split_w
       | Read_path -> t.read_path_w
-      | Manifest -> t.manifest_w)
+      | Manifest -> t.manifest_w
+      | Table_meta -> t.table_meta_w)
 
 let read_by t cat =
   locked t (fun () ->
@@ -150,7 +194,8 @@ let read_by t cat =
         if level < Array.length t.level_r then t.level_r.(level) else 0
       | Split -> t.split_r
       | Read_path -> t.read_path_r
-      | Manifest -> t.manifest_r)
+      | Manifest -> t.manifest_r
+      | Table_meta -> t.table_meta_r)
 
 let per_level arr =
   let acc = ref [] in
@@ -176,8 +221,14 @@ let reset t =
       t.read_path_r <- 0;
       t.manifest_w <- 0;
       t.manifest_r <- 0;
+      t.table_meta_w <- 0;
+      t.table_meta_r <- 0;
       t.syncs <- 0;
       t.faults <- 0;
+      t.bloom_probes <- 0;
+      t.bloom_negatives <- 0;
+      t.bloom_fps <- 0;
+      t.block_fetches <- 0;
       Array.fill t.level_w 0 (Array.length t.level_w) 0;
       Array.fill t.level_r 0 (Array.length t.level_r) 0)
 
@@ -213,8 +264,14 @@ let diff cur base =
     read_path_r = cur.read_path_r - base.read_path_r;
     manifest_w = cur.manifest_w - base.manifest_w;
     manifest_r = cur.manifest_r - base.manifest_r;
+    table_meta_w = cur.table_meta_w - base.table_meta_w;
+    table_meta_r = cur.table_meta_r - base.table_meta_r;
     level_w = sub_arrays cur.level_w base.level_w;
     level_r = sub_arrays cur.level_r base.level_r;
     syncs = cur.syncs - base.syncs;
     faults = cur.faults - base.faults;
+    bloom_probes = cur.bloom_probes - base.bloom_probes;
+    bloom_negatives = cur.bloom_negatives - base.bloom_negatives;
+    bloom_fps = cur.bloom_fps - base.bloom_fps;
+    block_fetches = cur.block_fetches - base.block_fetches;
   }

@@ -13,6 +13,9 @@ type category =
   | Split  (** bucket/guard split rewrites (WipDB, PebblesDB) *)
   | Read_path  (** block reads performed to serve user point/range reads *)
   | Manifest  (** metadata persistence *)
+  | Table_meta
+      (** table self-description: footer, index and filter blocks read when a
+          table is opened (previously mis-charged to [Manifest]) *)
 
 type t
 
@@ -28,6 +31,28 @@ val record_sync : t -> unit
 val record_fault : t -> unit
 (** Count one injected fault (crash, transient I/O error, or bit flip);
     only fault-injection backends call this. *)
+
+val record_bloom_probe : t -> negative:bool -> unit
+(** Count one bloom-filter consultation; [negative] when the filter ruled
+    the key definitely absent. *)
+
+val record_bloom_false_positive : t -> unit
+(** Count one probe where the filter said maybe but the table had no entry
+    for the user key — the measured FP rate's numerator. *)
+
+val record_block_fetch : t -> unit
+(** Count one data-block request (cache hits included). *)
+
+val bloom_probe_count : t -> int
+
+val bloom_negative_count : t -> int
+
+val bloom_false_positive_count : t -> int
+
+val bloom_fp_rate : t -> float
+(** [false positives / (probes - negatives)]; 0 with no maybe-answers. *)
+
+val block_fetch_count : t -> int
 
 val sync_count : t -> int
 (** Durability barriers issued — the denominator of fsync overhead. *)

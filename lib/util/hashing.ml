@@ -9,12 +9,14 @@ let avalanche h =
   let h = Int64.(mul (logxor h (shift_right_logical h 29)) prime3) in
   Int64.(logxor h (shift_right_logical h 32))
 
-let hash64 ?(seed = 0L) s =
-  let len = String.length s in
+let hash64_sub ?(seed = 0L) s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Hashing.hash64_sub";
+  let stop = pos + len in
   let h = ref (Int64.add seed (Int64.of_int len)) in
-  let i = ref 0 in
+  let i = ref pos in
   (* 8-byte lanes *)
-  while !i + 8 <= len do
+  while !i + 8 <= stop do
     let lane = ref 0L in
     for j = 7 downto 0 do
       lane := Int64.(logor (shift_left !lane 8) (of_int (Char.code s.[!i + j])))
@@ -23,12 +25,14 @@ let hash64 ?(seed = 0L) s =
     i := !i + 8
   done;
   (* tail bytes *)
-  while !i < len do
+  while !i < stop do
     let b = Int64.of_int (Char.code s.[!i]) in
     h := Int64.mul (rotl (Int64.logxor !h (Int64.mul b prime1)) 27) prime2;
     incr i
   done;
   avalanche !h
+
+let hash64 ?seed s = hash64_sub ?seed s ~pos:0 ~len:(String.length s)
 
 let hash32 ?(seed = 0) s =
   let h = hash64 ~seed:(Int64.of_int seed) s in

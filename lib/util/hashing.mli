@@ -6,6 +6,11 @@
 
 val hash64 : ?seed:int64 -> string -> int64
 
+val hash64_sub : ?seed:int64 -> string -> pos:int -> len:int -> int64
+(** Hash of the substring [s.[pos .. pos+len)], equal to
+    [hash64 (String.sub s pos len)] without the copy — bloom probes over
+    slices of encoded internal keys stay allocation-free. *)
+
 val hash32 : ?seed:int -> string -> int
 (** Unsigned 32-bit result in an OCaml [int]. *)
 

@@ -4,7 +4,15 @@
     a globally monotonically increasing sequence number and a kind (value or
     deletion tombstone). Internal keys order by (user key ascending, sequence
     number descending) so that the newest version of a user key is
-    encountered first during merges and lookups. *)
+    encountered first during merges and lookups.
+
+    The encoded form is {e memcomparable}: [String.compare (encode a)
+    (encode b)] agrees in sign with [compare a b], so the table, block and
+    merge layers operate directly on encoded bytes and never decode on hot
+    paths. Layout: user-key bytes with every 0x00 escaped as 0x00 0xFF and a
+    0x00 0x01 terminator (keeping strict-prefix user keys and embedded NULs
+    correctly ordered), then an 8-byte big-endian bitwise complement of
+    [seq << 8 | kind_tag] (sequence descending, Value before Deletion). *)
 
 type kind = Value | Deletion
 
@@ -20,12 +28,53 @@ val compare_user : string -> string -> int
 (** Plain byte-wise user-key comparison (the store's global comparator). *)
 
 val encode : t -> string
-(** [user_key ^ 8-byte big-endian (seq << 8 | kind_tag)] — big-endian so the
-    encoded form preserves [compare] ordering bytewise on the trailer when
-    user keys are equal. *)
+(** Memcomparable form (see module doc); bytewise order matches {!compare}. *)
 
 val decode : string -> t
-(** @raise Invalid_argument if shorter than the 8-byte trailer. *)
+(** @raise Invalid_argument on truncated or malformed encodings. Intended
+    for tests and tools; hot paths use the [encoded_*] accessors below. *)
+
+val encode_seek : string -> seq:int64 -> string
+(** [encode_seek user_key ~seq] = [encode (make user_key ~seq)]: the seek
+    target that every entry of [user_key] with sequence [<= seq] (and no
+    other version of that user key) compares [>=] to. *)
+
+val encode_user : string -> string
+(** Just the escaped user key plus terminator — the user portion of
+    {!encode}'s output. Precompute once per range boundary and compare with
+    {!compare_encoded_user} instead of decoding every entry. *)
+
+val trailer_length : int
+(** Bytes of the fixed trailer (8); an encoded key is
+    [encode_user user ^ trailer]. *)
+
+val encoded_seq : string -> int64
+(** Sequence number of an encoded key, read from the trailer. *)
+
+val encoded_kind : string -> kind
+(** Kind of an encoded key, read from the trailer's last byte. *)
+
+val encoded_same_user : string -> string -> bool
+(** Whether two encoded keys share a user key (bytewise on the escaped
+    portions; no decoding). *)
+
+val compare_encoded_user : string -> string -> int
+(** [compare_encoded_user eu enc] compares an {!encode_user} result against
+    the user portion of the encoded key [enc]; sign matches
+    [compare_user u (decode enc).user_key]. *)
+
+val user_key_of_encoded : string -> string
+(** Unescaped user key of an encoded key (allocates; off the hot path). *)
+
+val encoded_seq_bytes : Bytes.t -> len:int -> int64
+(** {!encoded_seq} over the first [len] bytes of a buffer (a
+    [Block.Cursor]'s reusable key buffer). *)
+
+val encoded_kind_bytes : Bytes.t -> len:int -> kind
+
+val encoded_same_user_bytes : Bytes.t -> len:int -> string -> bool
+(** [encoded_same_user_bytes buf ~len enc]: whether the encoded key held in
+    [buf.[0..len)] shares its user key with the encoded string [enc]. *)
 
 val kind_to_string : kind -> string
 

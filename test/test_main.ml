@@ -15,6 +15,7 @@ let () =
       ("manifest", Test_manifest.suite);
       ("integration", Test_integration.suite);
       ("cache", Test_cache.suite);
+      ("readpath", Test_readpath.suite);
       ("iterator", Test_iterator.suite);
       ("concurrent", Test_concurrent.suite);
       ("sharded", Test_sharded.suite);

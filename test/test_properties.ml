@@ -26,6 +26,41 @@ let qcheck_block_prefix_compression =
       let raw_block = Block.Builder.finish b in
       Block.decode_all raw_block = keys)
 
+(* The memcomparable encoding is the load-bearing invariant of the whole
+   read path: every hot-path comparison is [String.compare] on encoded
+   bytes, which is only correct if it sign-agrees with [Ikey.compare].
+   Exercise the nasty cases on purpose: strict-prefix user keys, embedded
+   NUL and 0xFF bytes, equal user keys with different sequences/kinds. *)
+let qcheck_encode_order_agrees =
+  let open QCheck in
+  let user_gen =
+    (* Small alphabet with the escape-relevant bytes so collisions, shared
+       prefixes and escape sequences all occur often. *)
+    Gen.(string_size (int_bound 6) ~gen:(oneofl [ '\x00'; '\x01'; 'a'; '\xff' ]))
+  in
+  let ikey_gen =
+    Gen.map3
+      (fun user seq kind ->
+        Ikey.make user
+          ~seq:(Int64.of_int seq)
+          ~kind:(if kind then Ikey.Value else Ikey.Deletion))
+      user_gen (Gen.int_bound 1000) Gen.bool
+  in
+  let print ik =
+    Printf.sprintf "%S@%Ld/%s" ik.Ikey.user_key ik.Ikey.seq
+      (Ikey.kind_to_string ik.Ikey.kind)
+  in
+  Test.make ~name:"String.compare on encodings sign-agrees with Ikey.compare"
+    ~count:2000
+    (make ~print:(QCheck.Print.pair print print) Gen.(pair ikey_gen ikey_gen))
+    (fun (a, b) ->
+      let sign n = Stdlib.compare n 0 in
+      sign (String.compare (Ikey.encode a) (Ikey.encode b))
+      = sign (Ikey.compare a b)
+      (* and the roundtrip stays faithful, so the order claim is about the
+         keys we think it is about *)
+      && Ikey.decode (Ikey.encode a) = a)
+
 (* compact is idempotent: compacting an already-compacted stream changes
    nothing. *)
 let qcheck_compact_idempotent =
@@ -35,8 +70,10 @@ let qcheck_compact_idempotent =
       let entries =
         raw
         |> List.map (fun (k, s) ->
-               (Ikey.make (Printf.sprintf "%03d" k) ~seq:(Int64.of_int s), "v"))
-        |> List.sort_uniq (fun (a, _) (b, _) -> Ikey.compare a b)
+               ( Ikey.encode
+                   (Ikey.make (Printf.sprintf "%03d" k) ~seq:(Int64.of_int s)),
+                 "v" ))
+        |> List.sort_uniq (fun (a, _) (b, _) -> String.compare a b)
       in
       let once =
         List.of_seq
@@ -57,8 +94,10 @@ let qcheck_merge_of_partition_is_identity =
       let entries =
         raw
         |> List.map (fun (k, s) ->
-               (Ikey.make (Printf.sprintf "%03d" k) ~seq:(Int64.of_int s), "v"))
-        |> List.sort_uniq (fun (a, _) (b, _) -> Ikey.compare a b)
+               ( Ikey.encode
+                   (Ikey.make (Printf.sprintf "%03d" k) ~seq:(Int64.of_int s)),
+                 "v" ))
+        |> List.sort_uniq (fun (a, _) (b, _) -> String.compare a b)
       in
       let chunks = Array.make parts [] in
       List.iteri (fun i e -> chunks.(i mod parts) <- e :: chunks.(i mod parts)) entries;
@@ -240,6 +279,7 @@ let qcheck_leveled_recovery =
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_block_prefix_compression;
+    QCheck_alcotest.to_alcotest qcheck_encode_order_agrees;
     QCheck_alcotest.to_alcotest qcheck_compact_idempotent;
     QCheck_alcotest.to_alcotest qcheck_merge_of_partition_is_identity;
     QCheck_alcotest.to_alcotest qcheck_distribution_bounds;

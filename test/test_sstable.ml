@@ -10,6 +10,8 @@ module Merge_iter = Wip_sstable.Merge_iter
 
 let ik ?(kind = Ikey.Value) key seq = Ikey.make ~kind key ~seq:(Int64.of_int seq)
 
+let enc ?kind key seq = Ikey.encode (ik ?kind key seq)
+
 (* ------------------------------------------------------------------ *)
 (* Block layer *)
 
@@ -222,38 +224,46 @@ let test_overlaps () =
 
 let seq_of_list l = List.to_seq l
 
+let user_of = Ikey.user_key_of_encoded
+
 let test_merge_order () =
-  let s1 = seq_of_list [ (ik "a" 1, "1"); (ik "c" 2, "2") ] in
-  let s2 = seq_of_list [ (ik "b" 3, "3"); (ik "d" 4, "4") ] in
+  let s1 = seq_of_list [ (enc "a" 1, "1"); (enc "c" 2, "2") ] in
+  let s2 = seq_of_list [ (enc "b" 3, "3"); (enc "d" 4, "4") ] in
   let merged = List.of_seq (Merge_iter.merge [ s1; s2 ]) in
   Alcotest.(check (list string)) "interleaved"
     [ "a"; "b"; "c"; "d" ]
-    (List.map (fun ((ik : Ikey.t), _) -> ik.Ikey.user_key) merged)
+    (List.map (fun (k, _) -> user_of k) merged)
 
 let test_compact_dedup () =
-  let newer = seq_of_list [ (ik "k" 9, "new") ] in
-  let older = seq_of_list [ (ik "k" 2, "old"); (ik "z" 1, "zv") ] in
+  let newer = seq_of_list [ (enc "k" 9, "new") ] in
+  let older = seq_of_list [ (enc "k" 2, "old"); (enc "z" 1, "zv") ] in
   let out = List.of_seq (Merge_iter.compact [ newer; older ]) in
   Alcotest.(check (list (pair string string)))
     "newest survives"
     [ ("k", "new"); ("z", "zv") ]
-    (List.map (fun ((ik : Ikey.t), v) -> (ik.Ikey.user_key, v)) out)
+    (List.map (fun (k, v) -> (user_of k, v)) out)
 
 let test_compact_tombstones () =
-  let s = seq_of_list [ (ik ~kind:Ikey.Deletion "k" 5, ""); (ik "k" 2, "old") ] in
+  let s =
+    seq_of_list [ (enc ~kind:Ikey.Deletion "k" 5, ""); (enc "k" 2, "old") ]
+  in
   let keep = List.of_seq (Merge_iter.compact ~drop_tombstones:false [ s ]) in
   Alcotest.(check int) "tombstone kept" 1 (List.length keep);
   (match keep with
-  | [ ((ik : Ikey.t), _) ] ->
-    Alcotest.(check bool) "is deletion" true (ik.Ikey.kind = Ikey.Deletion)
+  | [ (k, _) ] ->
+    Alcotest.(check bool) "is deletion" true
+      (Ikey.encoded_kind k = Ikey.Deletion)
   | _ -> Alcotest.fail "unexpected");
-  let s = seq_of_list [ (ik ~kind:Ikey.Deletion "k" 5, ""); (ik "k" 2, "old") ] in
+  let s =
+    seq_of_list [ (enc ~kind:Ikey.Deletion "k" 5, ""); (enc "k" 2, "old") ]
+  in
   let dropped = List.of_seq (Merge_iter.compact ~drop_tombstones:true [ s ]) in
   Alcotest.(check int) "tombstone and shadowed value gone" 0 (List.length dropped)
 
 let test_compact_snapshot_floor () =
   let s =
-    seq_of_list [ (ik "k" 9, "v9"); (ik "k" 7, "v7"); (ik "k" 3, "v3"); (ik "k" 1, "v1") ]
+    seq_of_list
+      [ (enc "k" 9, "v9"); (enc "k" 7, "v7"); (enc "k" 3, "v3"); (enc "k" 1, "v1") ]
   in
   let out = List.of_seq (Merge_iter.compact ~snapshot_floor:7L [ s ]) in
   (* Versions above the floor (9) are kept; newest at/below floor (7) kept;
@@ -261,32 +271,32 @@ let test_compact_snapshot_floor () =
   Alcotest.(check (list string)) "floor semantics" [ "v9"; "v7" ]
     (List.map snd out)
 
-(* Regression for the pairing-heap rewrite of [merge]: the output must stay
-   exactly the multiset of inputs sorted by [Ikey.compare] — same ordering
-   and duplicate handling as the old linear scan — across many streams,
-   empty streams, and (key, seq) entries duplicated between streams (as
-   after a WAL replay re-ingests a flushed table's contents). *)
+(* Regression for the pairing-heap [merge]: the output must stay exactly the
+   multiset of inputs sorted by encoded-key order — same ordering and
+   duplicate handling as a reference sort — across many streams, empty
+   streams, and (key, seq) entries duplicated between streams (as after a
+   WAL replay re-ingests a flushed table's contents). *)
 let test_merge_matches_reference_sort () =
   let streams =
     [
-      [ (ik "b" 5, "b5"); (ik "d" 2, "d2"); (ik "f" 1, "f1") ];
+      [ (enc "b" 5, "b5"); (enc "d" 2, "d2"); (enc "f" 1, "f1") ];
       [];
-      [ (ik "a" 9, "a9"); (ik "b" 7, "b7"); (ik "b" 5, "b5") ];
-      [ (ik "b" 5, "b5") ];
-      [ (ik "a" 9, "a9"); (ik "z" 1, "z1") ];
-      [ (ik "c" 4, "c4") ];
+      [ (enc "a" 9, "a9"); (enc "b" 7, "b7"); (enc "b" 5, "b5") ];
+      [ (enc "b" 5, "b5") ];
+      [ (enc "a" 9, "a9"); (enc "z" 1, "z1") ];
+      [ (enc "c" 4, "c4") ];
     ]
   in
   let expected =
     List.concat streams
-    |> List.stable_sort (fun (a, _) (b, _) -> Ikey.compare a b)
+    |> List.stable_sort (fun (a, _) (b, _) -> String.compare a b)
   in
   let out = List.of_seq (Merge_iter.merge (List.map seq_of_list streams)) in
   Alcotest.(check int) "length preserved" (List.length expected)
     (List.length out);
   List.iter2
-    (fun (ek, ev) ((ok : Ikey.t), ov) ->
-      Alcotest.(check int) "key order" 0 (Ikey.compare ek ok);
+    (fun (ek, ev) (ok, ov) ->
+      Alcotest.(check string) "key order" ek ok;
       Alcotest.(check string) "value" ev ov)
     expected out;
   (* Duplicate handling downstream: compact keeps one entry per user key. *)
@@ -296,7 +306,7 @@ let test_merge_matches_reference_sort () =
   Alcotest.(check (list (pair string string)))
     "compact dedups to newest per key"
     [ ("a", "a9"); ("b", "b7"); ("c", "c4"); ("d", "d2"); ("f", "f1"); ("z", "z1") ]
-    (List.map (fun ((k : Ikey.t), v) -> (k.Ikey.user_key, v)) compacted)
+    (List.map (fun (k, v) -> (user_of k, v)) compacted)
 
 let qcheck_merge_is_sorted =
   QCheck.Test.make ~name:"merge output is sorted" ~count:100
@@ -306,14 +316,15 @@ let qcheck_merge_is_sorted =
         List.map
           (fun l ->
             l
-            |> List.map (fun (k, s) -> (ik (Printf.sprintf "%03d" k) s, "v"))
-            |> List.sort (fun (a, _) (b, _) -> Ikey.compare a b)
+            |> List.map (fun (k, s) -> (enc (Printf.sprintf "%03d" k) s, "v"))
+            |> List.sort (fun (a, _) (b, _) -> String.compare a b)
             |> seq_of_list)
           lists
       in
       let out = List.of_seq (Merge_iter.merge seqs) in
       let rec sorted = function
-        | (a, _) :: ((b, _) :: _ as rest) -> Ikey.compare a b <= 0 && sorted rest
+        | (a, _) :: ((b, _) :: _ as rest) ->
+          String.compare a b <= 0 && sorted rest
         | _ -> true
       in
       sorted out
@@ -370,11 +381,108 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_table_roundtrip;
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Block cursor: must agree with decode_all on every block and seek
+   position (before the first key, exact hits, between keys, exactly on
+   restart points, past the end, and on the empty block). *)
+
+let cursor_walk raw =
+  let cur = Block.Cursor.create raw in
+  let rec loop acc =
+    if Block.Cursor.next cur then
+      loop ((Block.Cursor.key cur, Block.Cursor.value cur) :: acc)
+    else List.rev acc
+  in
+  loop []
+
+let reference_seek entries target =
+  List.find_opt (fun (k, _) -> String.compare k target >= 0) entries
+
+let cursor_seek raw target =
+  let cur = Block.Cursor.create raw in
+  if Block.Cursor.seek cur target then
+    Some (Block.Cursor.key cur, Block.Cursor.value cur)
+  else None
+
+let check_cursor_agrees raw =
+  let entries = Block.decode_all raw in
+  Alcotest.(check (list (pair string string)))
+    "cursor walk = decode_all" entries (cursor_walk raw);
+  let targets =
+    ("" :: "\255\255\255" :: List.map fst entries)
+    @ List.map (fun (k, _) -> k ^ "\000") entries
+  in
+  List.iter
+    (fun target ->
+      let expected = reference_seek entries target in
+      let got = cursor_seek raw target in
+      if expected <> got then
+        Alcotest.failf "seek %S disagrees with reference" target)
+    targets
+
+let test_cursor_matches_decode_all () =
+  (* Shared prefixes, varied lengths, >= several restart intervals. *)
+  let b = Block.Builder.create () in
+  for i = 0 to 199 do
+    let key =
+      if i mod 3 = 0 then Printf.sprintf "user-%05d" i
+      else if i mod 3 = 1 then Printf.sprintf "user-%05d-long-suffix-%d" i i
+      else Printf.sprintf "user-%05d\000bin" i
+    in
+    Block.Builder.add b ~key ~value:(String.make (i mod 7) 'v')
+  done;
+  check_cursor_agrees (Block.Builder.finish b);
+  (* Rewind re-walks from the start. *)
+  let b = Block.Builder.create () in
+  List.iter
+    (fun k -> Block.Builder.add b ~key:k ~value:k)
+    [ "a"; "ab"; "abc"; "b" ];
+  let raw = Block.Builder.finish b in
+  let cur = Block.Cursor.create raw in
+  ignore (Block.Cursor.seek cur "abc");
+  Block.Cursor.rewind cur;
+  Alcotest.(check bool) "next after rewind" true (Block.Cursor.next cur);
+  Alcotest.(check string) "first key" "a" (Block.Cursor.key cur)
+
+let test_cursor_restart_boundaries () =
+  (* One key per restart slot boundary: restart_interval entries apart. *)
+  let n = 4 * Wip_sstable.Table_format.restart_interval in
+  let b = Block.Builder.create () in
+  for i = 0 to n - 1 do
+    Block.Builder.add b ~key:(Printf.sprintf "%06d" (2 * i)) ~value:""
+  done;
+  check_cursor_agrees (Block.Builder.finish b)
+
+let test_cursor_empty_block () =
+  let raw = Block.Builder.finish (Block.Builder.create ()) in
+  let cur = Block.Cursor.create raw in
+  Alcotest.(check bool) "next on empty" false (Block.Cursor.next cur);
+  Alcotest.(check bool) "seek on empty" false (Block.Cursor.seek cur "x");
+  Alcotest.(check bool) "invalid" false (Block.Cursor.valid cur)
+
+let qcheck_cursor_equivalence =
+  QCheck.Test.make ~name:"cursor agrees with decode_all on random blocks"
+    ~count:60
+    QCheck.(small_list (pair small_string small_string))
+    (fun raw_entries ->
+      let entries =
+        raw_entries
+        |> List.sort_uniq (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let b = Block.Builder.create () in
+      List.iter (fun (k, v) -> Block.Builder.add b ~key:k ~value:v) entries;
+      let raw = Block.Builder.finish b in
+      check_cursor_agrees raw;
+      true)
+
 (* Edge cases: degenerate tables. *)
 
 let test_empty_table () =
   let env = Env.in_memory () in
-  let b = Table.Builder.create env ~name:"empty" ~category:Io_stats.Flush () in
+  let b =
+    Table.Builder.create env ~name:"empty" ~category:Io_stats.Flush
+      ~expected_keys:1 ()
+  in
   let meta = Table.Builder.finish b in
   Alcotest.(check int) "no entries" 0 meta.Table.entry_count;
   let r = Table.Reader.open_ env ~name:"empty" in
@@ -387,7 +495,10 @@ let test_empty_table () =
 
 let test_single_entry_table () =
   let env = Env.in_memory () in
-  let b = Table.Builder.create env ~name:"one" ~category:Io_stats.Flush () in
+  let b =
+    Table.Builder.create env ~name:"one" ~category:Io_stats.Flush
+      ~expected_keys:1 ()
+  in
   Table.Builder.add b (ik "only" 1) "";
   let meta = Table.Builder.finish b in
   Alcotest.(check string) "smallest=largest" meta.Table.smallest meta.Table.largest;
@@ -401,7 +512,10 @@ let test_single_entry_table () =
 
 let test_abandon_removes_file () =
   let env = Env.in_memory () in
-  let b = Table.Builder.create env ~name:"gone" ~category:Io_stats.Flush () in
+  let b =
+    Table.Builder.create env ~name:"gone" ~category:Io_stats.Flush
+      ~expected_keys:1 ()
+  in
   Table.Builder.add b (ik "k" 1) "v";
   Table.Builder.abandon b;
   Alcotest.(check bool) "file deleted" false (Env.exists env "gone")
@@ -412,4 +526,10 @@ let suite =
       Alcotest.test_case "empty table" `Quick test_empty_table;
       Alcotest.test_case "single entry" `Quick test_single_entry_table;
       Alcotest.test_case "abandon" `Quick test_abandon_removes_file;
+      Alcotest.test_case "cursor = decode_all" `Quick
+        test_cursor_matches_decode_all;
+      Alcotest.test_case "cursor restart boundaries" `Quick
+        test_cursor_restart_boundaries;
+      Alcotest.test_case "cursor empty block" `Quick test_cursor_empty_block;
+      QCheck_alcotest.to_alcotest qcheck_cursor_equivalence;
     ]
