@@ -116,11 +116,18 @@ let run ~ops () =
   row "%-28s %14.0f entries/s %10.0f B/entry  (%d-way, %d entries)"
     "merge-compact" merge_ops merge_alloc fan !merged;
 
-  let stats = Env.stats env in
+  (* Report from one atomic snapshot: the individual getters each take the
+     stats lock separately, so reading them piecemeal around live traffic
+     can produce a torn set (an FP count from a later instant than its
+     probe count, say). *)
+  let stats = Io_stats.snapshot (Env.stats env) in
   let fp_rate = Io_stats.bloom_fp_rate stats in
   row "%-28s %14.4f  (%d probes, %d FPs)" "bloom FP rate" fp_rate
     (Io_stats.bloom_probe_count stats)
     (Io_stats.bloom_false_positive_count stats);
+  let cc = Block_cache.counters cache in
+  row "%-28s %14d hits %10d misses %6d bypasses" "block cache"
+    cc.Block_cache.c_hits cc.Block_cache.c_misses cc.Block_cache.c_bypasses;
 
   (* Machine-readable trail for cross-PR comparison. *)
   let json = "BENCH_readpath.json" in
@@ -138,12 +145,15 @@ let run ~ops () =
   "merge_compact_entries_per_sec": %.0f,
   "merge_compact_alloc_bytes_per_entry": %.1f,
   "bloom_fp_rate": %.6f,
-  "block_fetches": %d
+  "block_fetches": %d,
+  "cache_hits": %d,
+  "cache_misses": %d
 }
 |}
     keys ops hot_ops hot_alloc cold_ops cold_alloc scan_ops merge_ops
     merge_alloc fp_rate
-    (Io_stats.block_fetch_count stats);
+    (Io_stats.block_fetch_count stats)
+    cc.Block_cache.c_hits cc.Block_cache.c_misses;
   close_out oc;
   row "wrote %s" json;
   List.iter Table.Reader.close runs;

@@ -1,10 +1,11 @@
 module Merge_iter = Wip_sstable.Merge_iter
+module Sync = Wip_util.Sync
 
 module Make (S : Wip_kv.Store_intf.S) = struct
   type shard = {
     lo : string; (* inclusive lower key bound; "" for the first shard *)
     store : S.t;
-    lock : Mutex.t;
+    lock : Sync.t;
     mutable claimed : bool; (* held by a pool worker; guarded by pool_lock *)
   }
 
@@ -14,7 +15,7 @@ module Make (S : Wip_kv.Store_intf.S) = struct
     idle_sleep : float;
     stopping : bool Atomic.t;
     cycles : int Atomic.t;
-    pool_lock : Mutex.t;
+    pool_lock : Sync.t;
     mutable workers : unit Domain.t list;
   }
 
@@ -24,9 +25,7 @@ module Make (S : Wip_kv.Store_intf.S) = struct
 
   let compaction_cycles t = Atomic.get t.cycles
 
-  let locked_shard sh f =
-    Mutex.lock sh.lock;
-    Fun.protect ~finally:(fun () -> Mutex.unlock sh.lock) (fun () -> f sh.store)
+  let locked_shard sh f = Sync.with_lock sh.lock (fun () -> f sh.store)
 
   (* Rightmost shard whose lower bound <= key (same rule as the engine's own
      bucket directory). *)
@@ -48,26 +47,23 @@ module Make (S : Wip_kv.Store_intf.S) = struct
      behind foreground traffic; staleness only misprioritizes a cycle. *)
 
   let claim_shard t =
-    Mutex.lock t.pool_lock;
-    let best = ref None in
-    Array.iter
-      (fun sh ->
-        if not sh.claimed then begin
-          let p = S.maintenance_pending sh.store in
-          if p > 0 then
-            match !best with
-            | Some (_, bp) when bp >= p -> ()
-            | _ -> best := Some (sh, p)
-        end)
-      t.shards;
-    (match !best with Some (sh, _) -> sh.claimed <- true | None -> ());
-    Mutex.unlock t.pool_lock;
-    Option.map fst !best
+    Sync.with_lock t.pool_lock (fun () ->
+        let best = ref None in
+        Array.iter
+          (fun sh ->
+            if not sh.claimed then begin
+              let p = S.maintenance_pending sh.store in
+              if p > 0 then
+                match !best with
+                | Some (_, bp) when bp >= p -> ()
+                | _ -> best := Some (sh, p)
+            end)
+          t.shards;
+        (match !best with Some (sh, _) -> sh.claimed <- true | None -> ());
+        Option.map fst !best)
 
   let release_shard t sh =
-    Mutex.lock t.pool_lock;
-    sh.claimed <- false;
-    Mutex.unlock t.pool_lock
+    Sync.with_lock t.pool_lock (fun () -> sh.claimed <- false)
 
   let worker t () =
     while not (Atomic.get t.stopping) do
@@ -123,15 +119,27 @@ module Make (S : Wip_kv.Store_intf.S) = struct
       {
         shards =
           Array.of_list
-            (List.map
-               (fun (lo, store) ->
-                 { lo; store; lock = Mutex.create (); claimed = false })
+            (List.mapi
+               (fun i (lo, store) ->
+                 {
+                   lo;
+                   store;
+                   (* Rank = shard index: cross-shard operations acquire in
+                      ascending shard order, which the debug validator can
+                      then check as ascending ranks. *)
+                   lock =
+                     Sync.create
+                       ~rank:(Sync.rank_shard_base + i)
+                       ~name:(Printf.sprintf "shard-%d" i)
+                       ();
+                   claimed = false;
+                 })
                shards);
         budget = budget_per_cycle;
         idle_sleep;
         stopping = Atomic.make false;
         cycles = Atomic.make 0;
-        pool_lock = Mutex.create ();
+        pool_lock = Sync.create ~rank:Sync.rank_pool ~name:"pool" ();
         workers = [];
       }
     in
@@ -171,15 +179,8 @@ module Make (S : Wip_kv.Store_intf.S) = struct
      lock cycle can form. *)
 
   let lock_range t i0 i1 f =
-    for i = i0 to i1 do
-      Mutex.lock t.shards.(i).lock
-    done;
-    Fun.protect
-      ~finally:(fun () ->
-        for i = i1 downto i0 do
-          Mutex.unlock t.shards.(i).lock
-        done)
-      f
+    let locks = List.init (i1 - i0 + 1) (fun k -> t.shards.(i0 + k).lock) in
+    Sync.with_locks_ordered locks f
 
   let write_batch t items =
     if items <> [] then begin

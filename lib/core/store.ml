@@ -606,7 +606,7 @@ let eligible_jobs t =
           j_priority = (cfg.Config.read_weight *. rela_read) +. rela_sub;
         })
       jobs
-    |> List.sort (fun a b -> compare b.j_priority a.j_priority)
+    |> List.sort (fun a b -> Float.compare b.j_priority a.j_priority)
   end
 
 (* A bucket splits when its device footprint reaches capacity (the paper's

@@ -193,7 +193,7 @@ module Cursor = struct
     let lt = String.length target in
     let n = min t.key_len lt in
     let rec loop i =
-      if i = n then Stdlib.compare t.key_len lt
+      if i = n then Int.compare t.key_len lt
       else
         let c =
           Char.compare (Bytes.unsafe_get t.key_buf i) (String.unsafe_get target i)
@@ -214,7 +214,7 @@ module Cursor = struct
     let lt = String.length target in
     let n = min unshared lt in
     let rec loop i =
-      if i = n then Stdlib.compare unshared lt
+      if i = n then Int.compare unshared lt
       else
         let c =
           Char.compare

@@ -87,8 +87,10 @@ let compact ?(dedup_user_keys = true) ?(drop_tombstones = false)
         (not no_floor) && Int64.compare (Ikey.encoded_seq k) snapshot_floor > 0
       then Seq.Cons (entry, filter key' emitted_below_floor rest)
       else if dedup_user_keys && emitted_below_floor then filter key' true rest ()
-      else if drop_tombstones && Ikey.encoded_kind k = Ikey.Deletion then
-        filter key' true rest ()
+      else if
+        drop_tombstones
+        && match Ikey.encoded_kind k with Ikey.Deletion -> true | Ikey.Value -> false
+      then filter key' true rest ()
       else Seq.Cons (entry, filter key' true rest)
   in
   filter None false merged

@@ -2,8 +2,10 @@ let sub_buckets = 16
 
 let bucket_count = 64 * sub_buckets
 
+module Sync = Wip_util.Sync
+
 type t = {
-  lock : Mutex.t;
+  lock : Sync.t;
   buckets : int array;
   mutable total : int;
   mutable sum : float;
@@ -13,7 +15,7 @@ type t = {
 
 let create () =
   {
-    lock = Mutex.create ();
+    lock = Sync.create ~name:"histogram" ();
     buckets = Array.make bucket_count 0;
     total = 0;
     sum = 0.0;
@@ -21,9 +23,7 @@ let create () =
     maximum = neg_infinity;
   }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Sync.with_lock t.lock f
 
 (* Bucket index: exponent of 2 selects the decade, the next [sub_buckets]
    fractions subdivide it. Values < 1 land in bucket 0. *)

@@ -1,5 +1,7 @@
+module Sync = Wip_util.Sync
+
 type t = {
-  lock : Mutex.t;
+  lock : Sync.t;
   window : int;
   start : float;
   mutable ops : int;
@@ -13,7 +15,7 @@ let now () = Unix.gettimeofday ()
 let create ~window =
   let t0 = now () in
   {
-    lock = Mutex.create ();
+    lock = Sync.create ~name:"throughput" ();
     window;
     start = t0;
     ops = 0;
@@ -22,9 +24,7 @@ let create ~window =
     bins = [];
   }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Sync.with_lock t.lock f
 
 let tick t ?(n = 1) () =
   locked t (fun () ->

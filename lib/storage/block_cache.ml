@@ -13,8 +13,10 @@ type node = {
   mutable next : node option;
 }
 
+module Sync = Wip_util.Sync
+
 type t = {
-  lock : Mutex.t;
+  lock : Sync.t;
   capacity : int;
   table : (key, node) Hashtbl.t;
   mutable head : node option;
@@ -28,7 +30,7 @@ type t = {
 
 let create ~capacity_bytes =
   {
-    lock = Mutex.create ();
+    lock = Sync.create ~name:"block_cache" ();
     capacity = max 0 capacity_bytes;
     table = Hashtbl.create 256;
     head = None;
@@ -40,9 +42,7 @@ let create ~capacity_bytes =
     rejections = 0;
   }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Sync.with_lock t.lock f
 
 let unlink t node =
   (match node.prev with
@@ -124,6 +124,29 @@ let evict_file t file =
           t.table []
       in
       List.iter (remove t) victims)
+
+type counters = {
+  c_hits : int;
+  c_misses : int;
+  c_bypasses : int;
+  c_rejections : int;
+  c_used_bytes : int;
+  c_entries : int;
+}
+
+(* One acquisition for the whole set: reading counters one getter at a time
+   while writers run yields values from different instants (a torn pair —
+   e.g. hits + misses no longer equals lookups). Reporting paths snapshot. *)
+let counters t =
+  locked t (fun () ->
+      {
+        c_hits = t.hits;
+        c_misses = t.misses;
+        c_bypasses = t.bypasses;
+        c_rejections = t.rejections;
+        c_used_bytes = t.used;
+        c_entries = Hashtbl.length t.table;
+      })
 
 let hits t = locked t (fun () -> t.hits)
 

@@ -29,6 +29,21 @@ val add : t -> file:string -> offset:int -> string -> unit
 val evict_file : t -> string -> unit
 (** Drop every block of a deleted file. *)
 
+type counters = {
+  c_hits : int;
+  c_misses : int;
+  c_bypasses : int;
+  c_rejections : int;
+  c_used_bytes : int;
+  c_entries : int;
+}
+
+val counters : t -> counters
+(** Every counter read under one lock acquisition — the only way to get a
+    mutually consistent set while other threads hit the cache. The scalar
+    getters below each take the lock separately, so a pair of them read
+    around concurrent traffic can be torn. *)
+
 val hits : t -> int
 
 val misses : t -> int

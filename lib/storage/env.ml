@@ -37,7 +37,7 @@ type backend =
    implementation for their own metadata atomicity. File *contents* need no
    lock here: distinct files own distinct buffers, and each store serializes
    access to its own files. *)
-type t = { backend : backend; stats : Io_stats.t; lock : Mutex.t }
+type t = { backend : backend; stats : Io_stats.t; lock : Wip_util.Sync.t }
 
 type writer = {
   w_env : t;
@@ -60,11 +60,15 @@ let in_memory () =
   {
     backend = Mem (Hashtbl.create 64);
     stats = Io_stats.create ();
-    lock = Mutex.create ();
+    lock = Wip_util.Sync.create ~name:"env" ();
   }
 
 let custom c =
-  { backend = Custom c; stats = Io_stats.create (); lock = Mutex.create () }
+  {
+    backend = Custom c;
+    stats = Io_stats.create ();
+    lock = Wip_util.Sync.create ~name:"env" ();
+  }
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -74,13 +78,15 @@ let rec mkdir_p dir =
 
 let posix ~root =
   mkdir_p root;
-  { backend = Posix root; stats = Io_stats.create (); lock = Mutex.create () }
+  {
+    backend = Posix root;
+    stats = Io_stats.create ();
+    lock = Wip_util.Sync.create ~name:"env" ();
+  }
 
 let stats t = t.stats
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Wip_util.Sync.with_lock t.lock f
 
 let posix_path root name =
   (* Flatten any separators so the namespace stays flat on disk. *)

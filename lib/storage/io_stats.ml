@@ -13,8 +13,10 @@ type category =
    in growable arrays indexed by level. A per-record mutex makes every
    recorder and reader atomic: one Env (and thus one stats record) may be
    shared by several shard stores written from parallel threads. *)
+module Sync = Wip_util.Sync
+
 type t = {
-  lock : Mutex.t;
+  lock : Sync.t;
   mutable user : int;
   mutable wal_w : int;
   mutable wal_r : int;
@@ -40,7 +42,7 @@ type t = {
 
 let create () =
   {
-    lock = Mutex.create ();
+    lock = Sync.create ~name:"io_stats" ();
     user = 0;
     wal_w = 0;
     wal_r = 0;
@@ -64,9 +66,7 @@ let create () =
     block_fetches = 0;
   }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Sync.with_lock t.lock f
 
 let ensure_level arr level =
   let arr' =
@@ -236,7 +236,7 @@ let snapshot t =
   locked t (fun () ->
       {
         t with
-        lock = Mutex.create ();
+        lock = Sync.create ~name:"io_stats" ();
         level_w = Array.copy t.level_w;
         level_r = Array.copy t.level_r;
       })
@@ -252,7 +252,7 @@ let diff cur base =
         - if i < Array.length b then b.(i) else 0)
   in
   {
-    lock = Mutex.create ();
+    lock = Sync.create ~name:"io_stats" ();
     user = cur.user - base.user;
     wal_w = cur.wal_w - base.wal_w;
     wal_r = cur.wal_r - base.wal_r;

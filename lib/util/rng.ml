@@ -25,7 +25,11 @@ let int64 t bound =
   let rec loop () =
     let raw = Int64.shift_right_logical (next_int64 t) 1 in
     let v = Int64.rem raw bound in
-    if Int64.(compare (sub raw v) (sub (sub max_int bound) 1L)) > 0 then loop ()
+    if
+      Int64.compare (Int64.sub raw v)
+        (Int64.sub (Int64.sub Int64.max_int bound) 1L)
+      > 0
+    then loop ()
     else v
   in
   loop ()

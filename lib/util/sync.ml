@@ -1,0 +1,108 @@
+(* lint: allow-file R3 — Sync is the one module allowed to touch Mutex;
+   every other critical section enters through with_lock below. *)
+
+type t = { mutex : Mutex.t; lock_rank : int; lock_name : string }
+
+exception Order_violation of string
+
+let rank_pool = 100
+
+let rank_shard_base = 1_000
+
+let rank_leaf = 1_000_000
+
+let debug =
+  Atomic.make
+    (match Sys.getenv_opt "WIPDB_LOCK_DEBUG" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
+let set_debug b = Atomic.set debug b
+
+let debug_enabled () = Atomic.get debug
+
+let violations = Atomic.make 0
+
+let violation_count () = Atomic.get violations
+
+(* Per-domain stack of held locks, innermost first. Only maintained in
+   debug mode: with the validator off an acquisition touches no
+   domain-local state. *)
+let held : t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let held_count () = List.length !(Domain.DLS.get held)
+
+let create ?(rank = rank_leaf) ?(name = "lock") () =
+  { mutex = Mutex.create (); lock_rank = rank; lock_name = name }
+
+let rank t = t.lock_rank
+
+let name t = t.lock_name
+
+let violate msg =
+  Atomic.incr violations;
+  raise (Order_violation msg)
+
+let check_order t =
+  match !(Domain.DLS.get held) with
+  | top :: _ when t.lock_rank <= top.lock_rank ->
+    violate
+      (Printf.sprintf
+         "acquiring %s (rank %d) while holding %s (rank %d): lock ranks \
+          must strictly ascend"
+         t.lock_name t.lock_rank top.lock_name top.lock_rank)
+  | _ -> ()
+
+let acquire t =
+  if Atomic.get debug then begin
+    check_order t;
+    Mutex.lock t.mutex;
+    let stack = Domain.DLS.get held in
+    stack := t :: !stack
+  end
+  else Mutex.lock t.mutex
+
+let release t =
+  if Atomic.get debug then begin
+    let stack = Domain.DLS.get held in
+    (* Releases must mirror acquisitions; with_lock guarantees this, so a
+       mismatch means the stack was corrupted by a leaked acquisition. *)
+    match !stack with
+    | top :: rest when top == t ->
+      stack := rest;
+      Mutex.unlock t.mutex
+    | _ ->
+      Mutex.unlock t.mutex;
+      violate
+        (Printf.sprintf "releasing %s out of acquisition order" t.lock_name)
+  end
+  else Mutex.unlock t.mutex
+
+let with_lock t f =
+  acquire t;
+  Fun.protect ~finally:(fun () -> release t) f
+
+let rec check_ascending = function
+  | a :: (b :: _ as rest) ->
+    if b.lock_rank <= a.lock_rank then
+      violate
+        (Printf.sprintf
+           "with_locks_ordered: %s (rank %d) does not ascend from %s (rank \
+            %d)"
+           b.lock_name b.lock_rank a.lock_name a.lock_rank);
+    check_ascending rest
+  | _ -> ()
+
+let with_locks_ordered locks f =
+  if Atomic.get debug then check_ascending locks;
+  (* Acquire one at a time; whatever prefix is held when an exception
+     escapes (from [f] or from a later acquisition) unwinds in reverse
+     order through the nested protects. *)
+  let rec go = function
+    | [] -> f ()
+    | l :: rest ->
+      acquire l;
+      Fun.protect ~finally:(fun () -> release l) (fun () -> go rest)
+  in
+  go locks

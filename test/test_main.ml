@@ -2,6 +2,7 @@ let () =
   Alcotest.run "wipdb"
     [
       ("util", Test_util.suite);
+      ("sync", Test_sync.suite);
       ("bloom", Test_bloom.suite);
       ("storage", Test_storage.suite);
       ("memtable", Test_memtable.suite);

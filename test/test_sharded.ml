@@ -234,8 +234,9 @@ let test_block_cache_counters_under_contention () =
   in
   List.iter Domain.join ds;
   (* Exactly one counter bumps per lookup — lost updates would break this. *)
+  let cc = Block_cache.counters cache in
   Alcotest.(check int) "hits + misses = lookups" (domains * per_domain)
-    (Block_cache.hits cache + Block_cache.misses cache)
+    (cc.Block_cache.c_hits + cc.Block_cache.c_misses)
 
 let test_stats_under_contention () =
   let h = Histogram.create () in

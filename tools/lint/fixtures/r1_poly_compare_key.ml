@@ -1,0 +1,18 @@
+(* Fixture: R1 — polymorphic comparison primitives on key values. *)
+
+let lookup table key = List.exists (fun (k, _) -> k = key) table (* FINDING: R1 *)
+
+let stale old_key new_key = old_key <> new_key (* FINDING: R1 *)
+
+let clamp_key lo key = max lo key (* FINDING: R1 *)
+
+let hash_route shards key = Hashtbl.hash key mod shards (* FINDING: R1 *)
+
+let before a b = Stdlib.compare a.key b.key < 0 (* FINDING: R1 *)
+
+(* Negative cases: typed module compares and key *measurements* are fine. *)
+let ordered a b = String.compare a b <= 0
+
+let fits n key_bytes = n = key_bytes
+
+let same_key a b = Ikey.compare a b = 0

@@ -1,0 +1,10 @@
+(* Fixture: R2 — full-block decode outside test/ and tools. *)
+
+let block_entries raw = Block.decode_all raw (* FINDING: R2 *)
+
+let qualified raw = Wip_sstable.Block.decode_all raw (* FINDING: R2 *)
+
+(* Negative case: the cursor read path. *)
+let first_entry raw =
+  let c = Block.Cursor.create raw in
+  if Block.Cursor.next c then Some (Block.Cursor.key c) else None

@@ -1,0 +1,13 @@
+(* Fixture: R3 — bare mutex operations leak the lock on exception. *)
+
+let m = Mutex.create () (* FINDING: R3 *)
+
+let unsafe_incr r =
+  Mutex.lock m; (* FINDING: R3 *)
+  incr r;
+  Mutex.unlock m (* FINDING: R3 *)
+
+let wait_nonempty cond = Condition.wait cond m (* FINDING: R3 *)
+
+(* Negative case: the Sync wrappers are the sanctioned entry points. *)
+let safe_incr lock r = Wip_util.Sync.with_lock lock (fun () -> incr r)

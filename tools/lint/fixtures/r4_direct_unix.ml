@@ -1,0 +1,13 @@
+(* Fixture: R4 — device I/O that Io_stats never sees. *)
+
+let slurp path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in (* FINDING: R4 *)
+  let buf = Bytes.create 4096 in
+  let n = Unix.read fd buf 0 4096 in (* FINDING: R4 *)
+  Unix.close fd; (* FINDING: R4 *)
+  Bytes.sub_string buf 0 n
+
+(* Negative cases: the clock/sleep allowlist. *)
+let now () = Unix.gettimeofday ()
+
+let nap () = Unix.sleepf 0.01

@@ -1,0 +1,10 @@
+(* Fixture: R5 — stdout chatter from library code. *)
+
+let report n =
+  Printf.printf "compactions: %d\n" n; (* FINDING: R5 *)
+  print_endline "done" (* FINDING: R5 *)
+
+(* Negative cases: building strings and stderr diagnostics are fine. *)
+let describe n = Printf.sprintf "compactions: %d" n
+
+let complain msg = prerr_endline msg

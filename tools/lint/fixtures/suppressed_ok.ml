@@ -1,0 +1,11 @@
+(* Fixture: suppressions — both scopes must be honored and counted. *)
+(* lint: allow-file R5 — fixture exercises file-scope suppressions *)
+
+let m = ref 0
+
+let held_dump lock =
+  (* lint: allow R3 — fixture: inline suppression on the preceding line *)
+  Mutex.lock lock;
+  incr m;
+  Mutex.unlock lock; (* lint: allow R3 — fixture: same-line suppression *)
+  print_endline "released"

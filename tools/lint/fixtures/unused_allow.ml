@@ -1,0 +1,4 @@
+(* Fixture: an allowance nothing uses is itself a finding (USED-ALLOWS: 0). *)
+(* lint: allow R2 — stale: nothing below decodes a block *) (* FINDING: R0 *)
+
+let id x = x

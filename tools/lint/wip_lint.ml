@@ -1,0 +1,433 @@
+(* Wip_check — repo-specific static analysis over the compiler's AST.
+
+   Parses every .ml under lib/ and bench/ (no typing: the rules are
+   deliberately syntactic so the linter stays fast and dependency-free) and
+   enforces the invariants the type system cannot see:
+
+     R1  no polymorphic comparison / equality / hashing on key-ish values in
+         lib/ — encoded keys are plain strings, and the read-path results
+         only hold if every comparison on them is bytewise
+         (String.compare / Ikey.compare) or otherwise module-qualified;
+         bare [compare] is banned outright (it silently pairs with
+         Stdlib.compare).
+     R2  Block.decode_all is test/tool-only: hot paths use Block.Cursor.
+     R3  bare Mutex.* / Condition.* only inside Wip_util.Sync — everything
+         else goes through with_lock / with_locks_ordered, which release on
+         exception and feed the lock-rank validator.
+     R4  Unix.* only under lib/storage (clock/sleep functions allowlisted):
+         any other direct syscall would move bytes the Io_stats
+         write-amplification accounting never sees.
+     R5  no printing to stdout from lib/.
+
+   Suppressions:
+     (* lint: allow R3 — reason *)        covers its own line and the next
+     (* lint: allow-file R3 — reason *)   covers the whole file
+   Every suppression must be used; unused ones are findings themselves, so
+   stale allowances cannot accumulate.
+
+   Self-test mode (--self-test DIR) runs the rules over fixture files whose
+   offending lines carry trailing (* FINDING: Rn *) markers and checks the
+   reported (rule, line) set matches the markers exactly, and that every
+   [lint: allow] in a fixture is honored (suppresses its finding) and
+   counted. *)
+
+let rules : (string * string) list =
+  [
+    ("R1", "use String.compare / Ikey.compare or a typed module compare \
+            (Int.compare, ...) — polymorphic comparison on keys breaks \
+            encoded-key ordering invariants");
+    ("R2", "Block.decode_all allocates the whole block; hot paths must use \
+            Block.Cursor (seek/next)");
+    ("R3", "use Wip_util.Sync.with_lock / with_locks_ordered — exception-safe \
+            and rank-order validated");
+    ("R4", "route device access through Storage.Env so Io_stats accounts \
+            every byte (clock functions are allowlisted)");
+    ("R5", "lib/ must not write to stdout — return data, or print from \
+            bench/bin/tools");
+    ("R0", "suppression hygiene");
+  ]
+
+let hint_of rule = try List.assoc rule rules with Not_found -> ""
+
+type context = Lib | Bench
+
+type finding = { f_file : string; f_line : int; f_rule : string; f_msg : string }
+
+let findings : finding list ref = ref []
+
+let add_finding ~file ~line ~rule msg =
+  findings := { f_file = file; f_line = line; f_rule = rule; f_msg = msg } :: !findings
+
+(* ------------------------------------------------------------------ *)
+(* Suppressions *)
+
+type suppression = {
+  s_rule : string;
+  s_line : int; (* 0 for file-scope *)
+  s_file_scope : bool;
+  mutable s_used : int;
+}
+
+let suppression_re = Str.regexp "lint:[ \t]*\\(allow-file\\|allow\\)[ \t]+\\(R[0-9]+\\)"
+
+let scan_suppressions source =
+  let sups = ref [] in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun i line ->
+      let rec scan pos =
+        match Str.search_forward suppression_re line pos with
+        | exception Not_found -> ()
+        | p ->
+          let kind = Str.matched_group 1 line in
+          let rule = Str.matched_group 2 line in
+          sups :=
+            {
+              s_rule = rule;
+              s_line = i + 1;
+              s_file_scope = String.equal kind "allow-file";
+              s_used = 0;
+            }
+            :: !sups;
+          scan (p + 1)
+      in
+      scan 0)
+    lines;
+  List.rev !sups
+
+let suppressed sups ~rule ~line =
+  match
+    List.find_opt
+      (fun s ->
+        String.equal s.s_rule rule
+        && (s.s_file_scope || s.s_line = line || s.s_line = line - 1))
+      sups
+  with
+  | Some s ->
+    s.s_used <- s.s_used + 1;
+    true
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* AST helpers *)
+
+let flatten lid = Longident.flatten lid
+
+let path_of lid = String.concat "." (flatten lid)
+
+let last_of lid = Longident.last lid
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Polymorphic comparison primitives (as Lident, or Stdlib-qualified). *)
+let poly_ops =
+  [ "="; "<>"; "<"; ">"; "<="; ">="; "=="; "!="; "compare"; "min"; "max" ]
+
+let is_poly_prim lid =
+  match flatten lid with
+  | [ x ] -> List.mem x poly_ops
+  | [ "Stdlib"; x ] -> List.mem x poly_ops
+  | [ "Hashtbl"; "hash" ] | [ "Stdlib"; "Hashtbl"; "hash" ] -> true
+  | _ -> false
+
+(* A name that (syntactically) denotes a key or encoded key. Names that
+   contain "key" but measure something about keys (lengths, counts, sizes,
+   estimates) are ints and excluded. *)
+let name_key_like n =
+  let n = String.lowercase_ascii n in
+  (contains_sub n "key" || contains_sub n "encoded")
+  && not
+       (List.exists (contains_sub n)
+          [ "len"; "count"; "size"; "space"; "bits"; "bytes"; "expected";
+            "codec"; "idx"; "index"; "weight" ])
+
+let rec expr_key_like (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> name_key_like (last_of txt)
+  | Pexp_field (_, { txt; _ }) -> name_key_like (last_of txt)
+  | Pexp_constraint (e, _) -> expr_key_like e
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+    (* Results of key encoders are encoded keys whatever they are bound to. *)
+    let p = path_of txt in
+    contains_sub p "Ikey.encode" || contains_sub p "Ikey.make"
+  | _ -> false
+
+(* All value names bound anywhere inside one structure item — coarse scope
+   tracking, precise enough to tell a [~compare] parameter from the
+   polymorphic [Stdlib.compare]. *)
+let bound_names (item : Parsetree.structure_item) =
+  let names = Hashtbl.create 16 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self p ->
+          (match p.Parsetree.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
+            Hashtbl.replace names txt ()
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+    }
+  in
+  it.structure_item it item;
+  names
+
+(* ------------------------------------------------------------------ *)
+(* Rules *)
+
+let unix_allowlist =
+  [ "gettimeofday"; "time"; "localtime"; "gmtime"; "sleep"; "sleepf";
+    "Unix_error" ]
+
+let stdout_printers =
+  [ "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_int"; "print_float"; "print_bytes" ]
+
+let check_expr ~ctx ~file ~in_storage ~bound (e : Parsetree.expression) =
+  let line = e.pexp_loc.Location.loc_start.Lexing.pos_lnum in
+  let ident_checks lid =
+    let comps = flatten lid in
+    let last = last_of lid in
+    (* R2: Block.decode_all outside test/ and tools. *)
+    if String.equal last "decode_all" then
+      add_finding ~file ~line ~rule:"R2"
+        (Printf.sprintf "reference to %s decodes a whole block" (path_of lid));
+    (* R3: bare Mutex/Condition outside Wip_util.Sync. *)
+    if List.exists (fun c -> c = "Mutex" || c = "Condition") comps then
+      add_finding ~file ~line ~rule:"R3"
+        (Printf.sprintf "bare %s leaks the lock if the critical section \
+                         raises" (path_of lid));
+    (* R4: Unix outside lib/storage, clock functions excepted. *)
+    if (not in_storage) && List.mem "Unix" comps
+       && not (List.mem last unix_allowlist)
+    then
+      add_finding ~file ~line ~rule:"R4"
+        (Printf.sprintf "direct %s bypasses Storage.Env byte accounting"
+           (path_of lid));
+    (* R5: stdout printing in lib/. *)
+    if ctx = Lib then begin
+      let is_printer =
+        match comps with
+        | [ x ] | [ "Stdlib"; x ] -> List.mem x stdout_printers
+        | [ "Printf"; "printf" ] | [ "Stdlib"; "Printf"; "printf" ] -> true
+        | [ "Format"; "printf" ] | [ "Format"; "print_string" ]
+        | [ "Format"; "print_newline" ] ->
+          true
+        | _ -> false
+      in
+      if is_printer then
+        add_finding ~file ~line ~rule:"R5"
+          (Printf.sprintf "%s writes to stdout from lib/" (path_of lid))
+    end;
+    (* R1 (part): bare [compare] that is not a local binding. *)
+    if ctx = Lib then begin
+      match comps with
+      | [ "compare" ] when not (Hashtbl.mem bound "compare") ->
+        add_finding ~file ~line ~rule:"R1"
+          "bare [compare] is polymorphic Stdlib.compare"
+      | _ -> ()
+    end
+  in
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> ident_checks txt
+  | Pexp_construct ({ txt; _ }, _)
+    when List.mem "Unix" (flatten txt)
+         && (not in_storage)
+         && not (List.mem (last_of txt) unix_allowlist) ->
+    add_finding ~file ~line ~rule:"R4"
+      (Printf.sprintf "direct %s bypasses Storage.Env byte accounting"
+         (path_of txt))
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+    when ctx = Lib && is_poly_prim txt
+         && (match flatten txt with
+            | [ x ] -> not (Hashtbl.mem bound x)
+            | _ -> true)
+         && List.exists (fun (_, a) -> expr_key_like a) args ->
+    add_finding ~file ~line ~rule:"R1"
+      (Printf.sprintf "polymorphic %s applied to a key value" (path_of txt))
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Driver *)
+
+let parse_file file =
+  let ic = open_in_bin file in
+  let source = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  (source, Parse.implementation lexbuf)
+
+let lint_file ~report file =
+  let ctx =
+    if contains_sub file "bench/" || contains_sub file "bench\\" then Bench
+    else Lib
+  in
+  let in_storage = contains_sub file "lib/storage/" in
+  match parse_file file with
+  | exception e ->
+    add_finding ~file ~line:1 ~rule:"R0"
+      (Printf.sprintf "parse error: %s" (Printexc.to_string e));
+    report [] 0
+  | source, structure ->
+    let sups = scan_suppressions source in
+    let before = !findings in
+    findings := [];
+    List.iter
+      (fun item ->
+        let bound = bound_names item in
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun self e ->
+                check_expr ~ctx ~file ~in_storage ~bound e;
+                Ast_iterator.default_iterator.expr self e);
+          }
+        in
+        it.structure_item it item)
+      structure;
+    (* One line can trip the same rule several times (e.g. two Unix idents
+       in one call); report it once. *)
+    let raw =
+      List.sort_uniq
+        (fun a b ->
+          match Int.compare a.f_line b.f_line with
+          | 0 -> String.compare a.f_rule b.f_rule
+          | c -> c)
+        (List.rev !findings)
+    in
+    let kept =
+      List.filter
+        (fun f -> not (suppressed sups ~rule:f.f_rule ~line:f.f_line))
+        raw
+    in
+    let used = List.fold_left (fun acc s -> acc + min 1 s.s_used) 0 sups in
+    let unused =
+      List.filter_map
+        (fun s ->
+          if s.s_used = 0 then
+            Some
+              {
+                f_file = file;
+                f_line = s.s_line;
+                f_rule = "R0";
+                f_msg =
+                  Printf.sprintf "unused suppression for %s — delete it"
+                    s.s_rule;
+              }
+          else None)
+        sups
+    in
+    findings := before;
+    report (kept @ unused) used
+
+let rec ml_files_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry ->
+           if
+             String.length entry > 0
+             && (entry.[0] = '.' || entry.[0] = '_' || entry = "fixtures")
+           then []
+           else ml_files_under (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let print_finding f =
+  Printf.eprintf "%s:%d: [%s] %s\n" f.f_file f.f_line f.f_rule f.f_msg;
+  let hint = hint_of f.f_rule in
+  if hint <> "" && f.f_rule <> "R0" then Printf.eprintf "  hint: %s\n" hint
+
+let run_lint paths =
+  let files = List.concat_map ml_files_under paths in
+  let total = ref 0 and sups_used = ref 0 in
+  List.iter
+    (fun file ->
+      lint_file file ~report:(fun fs used ->
+          List.iter print_finding fs;
+          total := !total + List.length fs;
+          sups_used := !sups_used + used))
+    files;
+  Printf.eprintf "wip_lint: %d file(s), %d finding(s), %d suppression(s) used\n"
+    (List.length files) !total !sups_used;
+  if !total > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Fixture self-test *)
+
+let marker_re = Str.regexp "FINDING:[ \t]*\\(R[0-9]+\\)"
+
+let expected_findings source =
+  let out = ref [] in
+  List.iteri
+    (fun i line ->
+      match Str.search_forward marker_re line 0 with
+      | exception Not_found -> ()
+      | _ -> out := (Str.matched_group 1 line, i + 1) :: !out)
+    (String.split_on_char '\n' source);
+  List.rev !out
+
+let run_self_test dir =
+  let files = ml_files_under dir in
+  let failures = ref 0 in
+  List.iter
+    (fun file ->
+      let ic = open_in_bin file in
+      let source = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let expected = expected_findings source in
+      (* Expected used-suppression count: every allow comment, unless the
+         fixture deliberately contains unused ones and says so with a
+         USED-ALLOWS: n marker. *)
+      let allow_count =
+        match
+          Str.search_forward (Str.regexp "USED-ALLOWS:[ \t]*\\([0-9]+\\)")
+            source 0
+        with
+        | _ -> int_of_string (Str.matched_group 1 source)
+        | exception Not_found -> List.length (scan_suppressions source)
+      in
+      lint_file file ~report:(fun fs used ->
+          let actual = List.map (fun f -> (f.f_rule, f.f_line)) fs in
+          let sort = List.sort compare in
+          let ok_findings = sort actual = sort expected in
+          let ok_sups = used = allow_count in
+          if ok_findings && ok_sups then
+            Printf.printf "PASS %s (%d finding(s), %d suppression(s))\n" file
+              (List.length expected) used
+          else begin
+            incr failures;
+            Printf.printf "FAIL %s\n" file;
+            if not ok_findings then begin
+              Printf.printf "  expected: %s\n"
+                (String.concat ", "
+                   (List.map (fun (r, l) -> Printf.sprintf "%s@%d" r l)
+                      (sort expected)));
+              Printf.printf "  actual:   %s\n"
+                (String.concat ", "
+                   (List.map (fun (r, l) -> Printf.sprintf "%s@%d" r l)
+                      (sort actual)))
+            end;
+            if not ok_sups then
+              Printf.printf "  suppressions: expected %d used, got %d\n"
+                allow_count used
+          end))
+    files;
+  if files = [] then begin
+    Printf.printf "no fixtures under %s\n" dir;
+    exit 1
+  end;
+  if !failures > 0 then exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | "--self-test" :: dir :: _ -> run_self_test dir
+  | "--root" :: root :: paths ->
+    run_lint (List.map (Filename.concat root) paths)
+  | [] -> run_lint [ "lib"; "bench" ]
+  | paths -> run_lint paths
