@@ -26,6 +26,8 @@ let experiments =
       Mt.run ~ops);
     ("readpath", "cursor read path: point get / scan / merge-compact", fun ~ops ->
       Readpath.run ~ops);
+    ("stall", "admission control on vs off: latency, stalls, pressure bound",
+     fun ~ops -> Stall.run ~ops);
   ]
 
 let default_ops =
@@ -41,6 +43,7 @@ let default_ops =
     ("ablation", 40_000);
     ("mt", 40_000);
     ("readpath", 200_000);
+    ("stall", 40_000);
   ]
 
 let usage () =

@@ -62,6 +62,21 @@ let foreground c ~keys ~value ~seed ~per_domain h () =
     Histogram.add h ((Unix.gettimeofday () -. t0) *. 1.0e6)
   done
 
+type round_result = {
+  r_threads : int;
+  r_ops_per_s : float;
+  r_p50 : float;
+  r_p99 : float;
+  r_cycles : int;
+  r_compactions : int;
+  (* Resilience counters, summed over all shard stats from one consistent
+     per-shard snapshot each. *)
+  r_stalls : int;
+  r_stall_ms : float;
+  r_retries : int;
+  r_degraded : int;
+}
+
 let round ~ops ~threads ~value =
   let keys = max 1000 (ops / 2) in
   let c = build_store () in
@@ -93,11 +108,27 @@ let round ~ops ~threads ~value =
     Sharded.fold_shards c ~init:0 ~f:(fun acc s ->
         acc + Wipdb.Store.compaction_count s)
   in
-  ( float_of_int (threads * per_domain) /. dt,
-    Histogram.percentile merged 50.0,
-    Histogram.percentile merged 99.0,
-    cycles,
-    compactions )
+  let stalls, stall_ns, retries, degraded =
+    Sharded.fold_shards c ~init:(0, 0, 0, 0)
+      ~f:(fun (st, sn, re, dg) s ->
+        let io = Wip_storage.Io_stats.snapshot (Wipdb.Store.io_stats s) in
+        ( st + Wip_storage.Io_stats.stall_count io,
+          sn + Wip_storage.Io_stats.stall_ns io,
+          re + Wip_storage.Io_stats.retry_count io,
+          dg + Wip_storage.Io_stats.degraded_transition_count io ))
+  in
+  {
+    r_threads = threads;
+    r_ops_per_s = float_of_int (threads * per_domain) /. dt;
+    r_p50 = Histogram.percentile merged 50.0;
+    r_p99 = Histogram.percentile merged 99.0;
+    r_cycles = cycles;
+    r_compactions = compactions;
+    r_stalls = stalls;
+    r_stall_ms = float_of_int stall_ns /. 1.0e6;
+    r_retries = retries;
+    r_degraded = degraded;
+  }
 
 let run ~ops () =
   section
@@ -105,13 +136,42 @@ let run ~ops () =
        "mt: sharded front-end scaling (%d shards, %d-thread pool, %d ops/round)"
        shards pool_threads ops);
   let value = String.make 100 'v' in
-  row "%-8s %12s %9s %12s %12s %12s %12s" "threads" "ops/s" "speedup"
-    "p50 (us)" "p99 (us)" "pool cycles" "compactions";
+  row "%-8s %12s %9s %12s %12s %12s %12s %7s %9s" "threads" "ops/s" "speedup"
+    "p50 (us)" "p99 (us)" "pool cycles" "compactions" "stalls" "retries";
   let base = ref None in
-  List.iter
-    (fun threads ->
-      let opss, p50, p99, cycles, compactions = round ~ops ~threads ~value in
-      let b = match !base with None -> base := Some opss; opss | Some b -> b in
-      row "%-8d %12.0f %8.2fx %12.1f %12.1f %12d %12d" threads opss (opss /. b)
-        p50 p99 cycles compactions)
-    thread_counts
+  let results =
+    List.map
+      (fun threads ->
+        let r = round ~ops ~threads ~value in
+        let b =
+          match !base with
+          | None ->
+            base := Some r.r_ops_per_s;
+            r.r_ops_per_s
+          | Some b -> b
+        in
+        row "%-8d %12.0f %8.2fx %12.1f %12.1f %12d %12d %7d %9d" threads
+          r.r_ops_per_s (r.r_ops_per_s /. b) r.r_p50 r.r_p99 r.r_cycles
+          r.r_compactions r.r_stalls r.r_retries;
+        r)
+      thread_counts
+  in
+  (* Machine-readable trail, resilience counters included. *)
+  let json = "BENCH_mt.json" in
+  let oc = open_out json in
+  Printf.fprintf oc "{\n  \"bench\": \"mt\",\n  \"ops\": %d,\n  \"rounds\": [" ops;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "%s\n    { \"threads\": %d, \"ops_per_sec\": %.0f, \"p50_us\": %.1f, \
+         \"p99_us\": %.1f,\n\
+        \      \"pool_cycles\": %d, \"compactions\": %d, \"stalls\": %d, \
+         \"stall_ms\": %.1f,\n\
+        \      \"retries\": %d, \"degraded_transitions\": %d }"
+        (if i = 0 then "" else ",")
+        r.r_threads r.r_ops_per_s r.r_p50 r.r_p99 r.r_cycles r.r_compactions
+        r.r_stalls r.r_stall_ms r.r_retries r.r_degraded)
+    results;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  row "wrote %s" json

@@ -14,6 +14,12 @@ module Make (S : Wip_kv.Store_intf.S) = struct
 
   let write_batch = Sharded.write_batch
 
+  let try_write_batch = Sharded.try_write_batch
+
+  let health = Sharded.health
+
+  let probe = Sharded.probe
+
   let delete = Sharded.delete
 
   let get = Sharded.get

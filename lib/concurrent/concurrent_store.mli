@@ -26,6 +26,15 @@ module Make (S : Wip_kv.Store_intf.S) : sig
 
   val write_batch : t -> (Wip_util.Ikey.kind * string * string) list -> unit
 
+  val try_write_batch :
+    t ->
+    (Wip_util.Ikey.kind * string * string) list ->
+    (unit, Wip_kv.Store_intf.write_error) result
+
+  val health : t -> Wip_kv.Store_intf.health
+
+  val probe : t -> Wip_kv.Store_intf.health
+
   val delete : t -> key:string -> unit
 
   val get : t -> string -> string option

@@ -1,5 +1,7 @@
 module Merge_iter = Wip_sstable.Merge_iter
 module Sync = Wip_util.Sync
+module Io_stats = Wip_storage.Io_stats
+module Intf = Wip_kv.Store_intf
 
 module Make (S : Wip_kv.Store_intf.S) = struct
   type shard = {
@@ -7,6 +9,9 @@ module Make (S : Wip_kv.Store_intf.S) = struct
     store : S.t;
     lock : Sync.t;
     mutable claimed : bool; (* held by a pool worker; guarded by pool_lock *)
+    mutable inflight : int;
+        (* bytes admitted since the pool last serviced this shard; guarded
+           by [lock] (pool priority reads it racily, which is advisory) *)
   }
 
   type t = {
@@ -17,6 +22,12 @@ module Make (S : Wip_kv.Store_intf.S) = struct
     cycles : int Atomic.t;
     pool_lock : Sync.t;
     mutable workers : unit Domain.t list;
+    (* Admission control over per-shard write debt. *)
+    admission : bool;
+    slowdown_mark : int;
+    stop_mark : int;
+    inflight_limit : int;
+    stall_deadline_s : float;
   }
 
   let shard_count t = Array.length t.shards
@@ -52,7 +63,11 @@ module Make (S : Wip_kv.Store_intf.S) = struct
         Array.iter
           (fun sh ->
             if not sh.claimed then begin
-              let p = S.maintenance_pending sh.store in
+              (* In-flight bytes count toward priority so the pool also
+                 visits shards whose engines are quiescent but whose debt
+                 budget needs resetting (racy read — advisory, like the
+                 pending estimate). *)
+              let p = S.maintenance_pending sh.store + sh.inflight in
               if p > 0 then
                 match !best with
                 | Some (_, bp) when bp >= p -> ()
@@ -74,8 +89,13 @@ module Make (S : Wip_kv.Store_intf.S) = struct
           (fun () ->
             (* Engines only raise on injected faults; the pool is not meant
                to drive fault-injection envs, so a failed cycle is dropped
-               rather than taking the whole pool down. *)
-            try locked_shard sh (fun s -> S.maintenance s ~budget_bytes:t.budget ())
+               rather than taking the whole pool down. A completed cycle
+               resets the shard's in-flight byte budget: the pool has
+               serviced it, so stalled writers may proceed. *)
+            try
+              Sync.with_lock sh.lock (fun () ->
+                  S.maintenance sh.store ~budget_bytes:t.budget ();
+                  sh.inflight <- 0)
             with _ -> ());
         Atomic.incr t.cycles;
         (* Yield so foreground threads can take the shard lock. *)
@@ -88,19 +108,44 @@ module Make (S : Wip_kv.Store_intf.S) = struct
 
   let maintenance t ?budget_bytes () =
     Array.iter
-      (fun sh -> locked_shard sh (fun s -> S.maintenance s ?budget_bytes ()))
+      (fun sh ->
+        Sync.with_lock sh.lock (fun () ->
+            S.maintenance sh.store ?budget_bytes ();
+            sh.inflight <- 0))
       t.shards
 
   let stop t =
     if not (Atomic.exchange t.stopping true) then begin
       List.iter Domain.join t.workers;
       t.workers <- [];
-      (* Drain to quiescence so post-stop reads see fully-compacted state. *)
-      maintenance t ()
+      (* Drain to quiescence so post-stop reads see fully-compacted state.
+         A degraded shard refuses maintenance — leave it be; its reads
+         still serve from the runs it already has. *)
+      Array.iter
+        (fun sh ->
+          try
+            Sync.with_lock sh.lock (fun () ->
+                S.maintenance sh.store ();
+                sh.inflight <- 0)
+          with Intf.Rejected _ -> ())
+        t.shards
     end
 
   let create ?(pool_threads = 7) ?(budget_per_cycle = 1024 * 1024)
-      ?(idle_sleep = 0.001) shards =
+      ?(idle_sleep = 0.001) ?(admission = true)
+      ?(slowdown_watermark_bytes = 2 * 1024 * 1024)
+      ?(stop_watermark_bytes = 4 * 1024 * 1024)
+      ?(inflight_limit_bytes = 4 * 1024 * 1024) ?(stall_deadline_s = 1.0)
+      shards =
+    if slowdown_watermark_bytes < 1 || stop_watermark_bytes < slowdown_watermark_bytes
+    then
+      invalid_arg
+        "Sharded_store.create: need 1 <= slowdown_watermark_bytes <= \
+         stop_watermark_bytes";
+    if inflight_limit_bytes < 1 then
+      invalid_arg "Sharded_store.create: inflight_limit_bytes must be >= 1";
+    if stall_deadline_s <= 0.0 then
+      invalid_arg "Sharded_store.create: stall_deadline_s must be > 0";
     (match shards with
     | [] -> invalid_arg "Sharded_store.create: at least one shard"
     | (lo0, _) :: _ ->
@@ -133,6 +178,7 @@ module Make (S : Wip_kv.Store_intf.S) = struct
                        ~name:(Printf.sprintf "shard-%d" i)
                        ();
                    claimed = false;
+                   inflight = 0;
                  })
                shards);
         budget = budget_per_cycle;
@@ -141,6 +187,11 @@ module Make (S : Wip_kv.Store_intf.S) = struct
         cycles = Atomic.make 0;
         pool_lock = Sync.create ~rank:Sync.rank_pool ~name:"pool" ();
         workers = [];
+        admission;
+        slowdown_mark = slowdown_watermark_bytes;
+        stop_mark = stop_watermark_bytes;
+        inflight_limit = inflight_limit_bytes;
+        stall_deadline_s;
       }
     in
     t.workers <- List.init (max 0 pool_threads) (fun _ -> Domain.spawn (worker t));
@@ -150,13 +201,85 @@ module Make (S : Wip_kv.Store_intf.S) = struct
     t
 
   (* ---------------------------------------------------------------- *)
+  (* Admission control.
+
+     Each shard carries a write-debt estimate: the engine's advisory
+     [maintenance_pending] plus the in-flight bytes admitted since the pool
+     last serviced the shard. A writer whose batch would push the debt past
+     the stop watermark (or the in-flight bytes past their budget) stalls in
+     {!Sync.await} — the shard lock is released between checks, so a pool
+     worker can claim the shard and drain — until the debt recedes or the
+     stall deadline passes, at which point the write is refused with a
+     typed [Backpressure] rather than hanging. The slowdown band waits
+     briefly and then admits regardless. *)
+
+  let slowdown_wait_s = 0.005
+
+  (* Called with [sh.lock] held. *)
+  let admit t i sh ~bytes =
+    if not t.admission then Ok ()
+    else begin
+      (* A quiescent engine has no residual debt; refresh the budget so
+         eager-compacting engines (and pool-less fronts) never stall on
+         bytes that were drained inline. *)
+      if S.maintenance_pending sh.store = 0 then sh.inflight <- 0;
+      let debt () = S.maintenance_pending sh.store + sh.inflight in
+      let fits () =
+        debt () + bytes <= t.stop_mark
+        && sh.inflight + bytes <= t.inflight_limit
+      in
+      if fits () && debt () <= t.slowdown_mark then Ok ()
+      else begin
+        let started = Unix.gettimeofday () in
+        let deadline = started +. t.stall_deadline_s in
+        let admitted =
+          if fits () then begin
+            (* Slowdown band: give the pool a moment, then admit anyway. *)
+            ignore
+              (Sync.await sh.lock
+                 ~deadline:(min deadline (started +. slowdown_wait_s))
+                 (fun () -> debt () <= t.slowdown_mark));
+            true
+          end
+          else Sync.await sh.lock ~deadline fits
+        in
+        Io_stats.record_stall (S.io_stats sh.store)
+          ~ns:(int_of_float ((Unix.gettimeofday () -. started) *. 1e9));
+        if admitted then Ok ()
+        else Error (Intf.Backpressure { shard = i; debt_bytes = debt () })
+      end
+    end
+
+  let batch_bytes items =
+    List.fold_left
+      (fun acc (_, key, value) ->
+        acc + String.length key + String.length value)
+      0 items
+
+  (* Re-tag an engine-level refusal with the front end's shard index. *)
+  let retag i = function
+    | Intf.Backpressure { debt_bytes; _ } ->
+      Intf.Backpressure { shard = i; debt_bytes }
+    | Intf.Store_degraded _ as e -> e
+
+  (* Called with [sh.lock] held: admission, then the engine's own guarded
+     write path. *)
+  let sub_batch t i sh items =
+    match S.health sh.store with
+    | Intf.Degraded { reason } -> Error (Intf.Store_degraded { reason })
+    | Intf.Healthy -> (
+      let bytes = batch_bytes items in
+      match admit t i sh ~bytes with
+      | Error _ as e -> e
+      | Ok () -> (
+        match S.try_write_batch sh.store items with
+        | Ok () ->
+          sh.inflight <- sh.inflight + bytes;
+          Ok ()
+        | Error e -> Error (retag i e)))
+
+  (* ---------------------------------------------------------------- *)
   (* Single-shard operations *)
-
-  let put t ~key ~value =
-    locked_shard t.shards.(shard_index t key) (fun s -> S.put s ~key ~value)
-
-  let delete t ~key =
-    locked_shard t.shards.(shard_index t key) (fun s -> S.delete s ~key)
 
   let get t key = locked_shard t.shards.(shard_index t key) (fun s -> S.get s key)
 
@@ -182,8 +305,9 @@ module Make (S : Wip_kv.Store_intf.S) = struct
     let locks = List.init (i1 - i0 + 1) (fun k -> t.shards.(i0 + k).lock) in
     Sync.with_locks_ordered locks f
 
-  let write_batch t items =
-    if items <> [] then begin
+  let try_write_batch t items =
+    if items = [] then Ok ()
+    else begin
       let n = Array.length t.shards in
       let groups = Array.make n [] in
       List.iter
@@ -199,8 +323,10 @@ module Make (S : Wip_kv.Store_intf.S) = struct
         end
       done;
       match !touched with
-      | [] -> ()
-      | [ i ] -> locked_shard t.shards.(i) (fun s -> S.write_batch s groups.(i))
+      | [] -> Ok ()
+      | [ i ] ->
+        let sh = t.shards.(i) in
+        Sync.with_lock sh.lock (fun () -> sub_batch t i sh groups.(i))
       | is ->
         (* The batch is atomic per shard (each sub-batch is one WAL record
            in its shard's engine) and isolated across shards: all involved
@@ -208,8 +334,92 @@ module Make (S : Wip_kv.Store_intf.S) = struct
            a half-applied batch. *)
         let i0 = List.hd is and i1 = List.nth is (List.length is - 1) in
         lock_range t i0 i1 (fun () ->
-            List.iter (fun i -> S.write_batch t.shards.(i).store groups.(i)) is)
+            (* Admission across several held locks cannot stall: awaiting
+               would release only one of them. Check every shard's debt up
+               front and fail fast; only when all admit does anything apply. *)
+            let refused =
+              List.find_map
+                (fun i ->
+                  let sh = t.shards.(i) in
+                  match S.health sh.store with
+                  | Intf.Degraded { reason } ->
+                    Some (Intf.Store_degraded { reason })
+                  | Intf.Healthy ->
+                    if not t.admission then None
+                    else begin
+                      if S.maintenance_pending sh.store = 0 then
+                        sh.inflight <- 0;
+                      let bytes = batch_bytes groups.(i) in
+                      let debt =
+                        S.maintenance_pending sh.store + sh.inflight
+                      in
+                      if
+                        debt + bytes > t.stop_mark
+                        || sh.inflight + bytes > t.inflight_limit
+                      then
+                        Some (Intf.Backpressure { shard = i; debt_bytes = debt })
+                      else None
+                    end)
+                is
+            in
+            match refused with
+            | Some e -> Error e
+            | None ->
+              (* A failure mid-application leaves earlier sub-batches
+                 applied: the documented contract is atomic per shard, not
+                 across shards, and the failing shard's engine has already
+                 flipped itself Degraded. *)
+              let rec apply = function
+                | [] -> Ok ()
+                | i :: rest -> (
+                  let sh = t.shards.(i) in
+                  match S.try_write_batch sh.store groups.(i) with
+                  | Ok () ->
+                    sh.inflight <- sh.inflight + batch_bytes groups.(i);
+                    apply rest
+                  | Error e -> Error (retag i e))
+              in
+              apply is)
     end
+
+  let write_batch t items =
+    match try_write_batch t items with
+    | Ok () -> ()
+    | Error e -> raise (Intf.Rejected e)
+
+  let put t ~key ~value =
+    write_batch t [ (Wip_util.Ikey.Value, key, value) ]
+
+  let delete t ~key = write_batch t [ (Wip_util.Ikey.Deletion, key, "") ]
+
+  (* ---------------------------------------------------------------- *)
+  (* Health aggregation: the front is degraded as soon as any shard is. *)
+
+  let health t =
+    let deg = ref None in
+    Array.iter
+      (fun sh ->
+        if Option.is_none !deg then
+          match Sync.with_lock sh.lock (fun () -> S.health sh.store) with
+          | Intf.Healthy -> ()
+          | Intf.Degraded _ as d -> deg := Some d)
+      t.shards;
+    Option.value !deg ~default:Intf.Healthy
+
+  let probe t =
+    let deg = ref None in
+    Array.iter
+      (fun sh ->
+        match Sync.with_lock sh.lock (fun () -> S.probe sh.store) with
+        | Intf.Healthy -> ()
+        | Intf.Degraded _ as d -> if Option.is_none !deg then deg := Some d)
+      t.shards;
+    Option.value !deg ~default:Intf.Healthy
+
+  let inflight_bytes t =
+    Array.fold_left
+      (fun acc sh -> acc + Sync.with_lock sh.lock (fun () -> sh.inflight))
+      0 t.shards
 
   let scan t ~lo ~hi ?limit () =
     if String.compare lo hi >= 0 then []

@@ -34,6 +34,11 @@ module Make (S : Wip_kv.Store_intf.S) : sig
     ?pool_threads:int ->
     ?budget_per_cycle:int ->
     ?idle_sleep:float ->
+    ?admission:bool ->
+    ?slowdown_watermark_bytes:int ->
+    ?stop_watermark_bytes:int ->
+    ?inflight_limit_bytes:int ->
+    ?stall_deadline_s:float ->
     (string * S.t) list ->
     t
   (** [create shards] starts the compaction pool over [(lower_bound, store)]
@@ -43,15 +48,50 @@ module Make (S : Wip_kv.Store_intf.S) : sig
       work); each worker cycle runs maintenance on one shard bounded by
       [budget_per_cycle] bytes (default 1 MiB) and then yields for
       [idle_sleep] seconds (default 1 ms).
-      @raise Invalid_argument on an invalid shard partition. *)
+
+      Admission control (on unless [admission:false]) gates each write on
+      its shard's {e write debt} — the engine's advisory
+      [maintenance_pending] plus the bytes admitted since the pool last
+      serviced the shard (capped at [inflight_limit_bytes], default 4 MiB).
+      Debt past [stop_watermark_bytes] (default 4 MiB) stalls the writer
+      with the shard lock released between checks so the pool can drain;
+      a stall outliving [stall_deadline_s] (default 1 s) is refused with
+      {!Wip_kv.Store_intf.Backpressure}. Debt past
+      [slowdown_watermark_bytes] (default 2 MiB) waits briefly and admits.
+      @raise Invalid_argument on an invalid shard partition or admission
+      parameters. *)
 
   val put : t -> key:string -> value:string -> unit
+  (** @raise Wip_kv.Store_intf.Rejected when admission control times out or
+      the shard is degraded. *)
 
   val write_batch : t -> (Wip_util.Ikey.kind * string * string) list -> unit
   (** Items are routed to their shards; locks are acquired in canonical
-      ascending order and held until every sub-batch has applied. *)
+      ascending order and held until every sub-batch has applied. A batch
+      spanning several shards fails fast on admission (it cannot stall with
+      multiple locks held) and is atomic per shard, not across shards.
+      @raise Wip_kv.Store_intf.Rejected as for {!put}. *)
+
+  val try_write_batch :
+    t ->
+    (Wip_util.Ikey.kind * string * string) list ->
+    (unit, Wip_kv.Store_intf.write_error) result
+  (** [write_batch] with the refusal as data; [Backpressure.shard] is the
+      index of the refusing shard. *)
 
   val delete : t -> key:string -> unit
+  (** @raise Wip_kv.Store_intf.Rejected as for {!put}. *)
+
+  val health : t -> Wip_kv.Store_intf.health
+  (** {!Wip_kv.Store_intf.Degraded} as soon as any shard's engine is. *)
+
+  val probe : t -> Wip_kv.Store_intf.health
+  (** Run a recovery probe on every degraded shard; the result is the
+      aggregate health afterwards (first still-degraded shard wins). *)
+
+  val inflight_bytes : t -> int
+  (** Total bytes admitted but not yet serviced by the pool, across all
+      shards — the quantity bounded by [inflight_limit_bytes]. *)
 
   val get : t -> string -> string option
 

@@ -19,6 +19,10 @@ type t = {
   wal_segment_bytes : int;
   wal_size_threshold : int;
   bucket_merge_bytes : int;
+  admission_control : bool;
+  slowdown_watermark_bytes : int;
+  stop_watermark_bytes : int;
+  stall_deadline_s : float;
   name : string;
 }
 
@@ -44,6 +48,10 @@ let default =
     wal_segment_bytes = 1024 * 1024;
     wal_size_threshold = 64 * 1024 * 1024;
     bucket_merge_bytes = 16 * 1024;
+    admission_control = true;
+    slowdown_watermark_bytes = 2 * 1024 * 1024;
+    stop_watermark_bytes = 4 * 1024 * 1024;
+    stall_deadline_s = 1.0;
     name = "WipDB";
   }
 
@@ -55,6 +63,8 @@ let scaled ~scale =
     wal_segment_bytes = default.wal_segment_bytes * scale;
     wal_size_threshold = default.wal_size_threshold * scale;
     bucket_merge_bytes = default.bucket_merge_bytes * scale;
+    slowdown_watermark_bytes = default.slowdown_watermark_bytes * scale;
+    stop_watermark_bytes = default.stop_watermark_bytes * scale;
   }
 
 let validate t =
@@ -68,6 +78,11 @@ let validate t =
   else if t.min_count < 1 then err "min_count must be >= 1"
   else if t.max_count < t.min_count then err "max_count must be >= min_count"
   else if t.read_weight < 0.0 then err "read_weight must be >= 0"
+  else if t.slowdown_watermark_bytes < 1 then
+    err "slowdown_watermark_bytes must be >= 1"
+  else if t.stop_watermark_bytes < t.slowdown_watermark_bytes then
+    err "stop_watermark_bytes must be >= slowdown_watermark_bytes"
+  else if t.stall_deadline_s <= 0.0 then err "stall_deadline_s must be > 0"
   else Ok ()
 
 (* Boundary j of n sits at j/n of the numeric key space, formatted exactly

@@ -52,6 +52,21 @@ type t = {
       (** total log size that forces flushing tail MemTables (paper §III-F) *)
   bucket_merge_bytes : int;
       (** adjacent buckets jointly smaller than this are merged *)
+  admission_control : bool;
+      (** gate writes on the watermarks below (default [true]); [false]
+          admits everything — the ablation arm of [bench/stall.ml] *)
+  slowdown_watermark_bytes : int;
+      (** write pressure (total MemTable bytes + estimated compaction debt)
+          above which an admitted writer first pays down a slice of
+          maintenance debt — the analog of LevelDB's slowdown trigger
+          (default 2 MiB) *)
+  stop_watermark_bytes : int;
+      (** write pressure above which writers stall until maintenance brings
+          pressure back under the watermark; a stall that outlives
+          [stall_deadline_s] is refused with [Backpressure] rather than
+          hanging (default 4 MiB) *)
+  stall_deadline_s : float;
+      (** longest a single write may be stalled (default 1 s) *)
   name : string;
 }
 

@@ -6,6 +6,7 @@ module Merge_iter = Wip_sstable.Merge_iter
 module Memtable = Wip_memtable.Memtable
 module Wal = Wip_wal.Wal
 module Manifest = Wip_manifest.Manifest
+module Intf = Wip_kv.Store_intf
 
 type bucket = {
   id : int;
@@ -32,6 +33,9 @@ type t = {
   mutable io_credit : int;
       (* accumulated background-compaction allowance (bytes); see
          Config.compaction_budget_per_batch *)
+  mutable health : Intf.health;
+  mutable quarantined : (string * string) list;
+      (* (file, detail) of tables renamed aside after corruption *)
   cache : Wip_storage.Block_cache.t option;
 }
 
@@ -118,6 +122,8 @@ let create ?env:env_opt cfg =
       splits = 0;
       compactions = 0;
       io_credit = 0;
+      health = Intf.Healthy;
+      quarantined = [];
       cache =
         (if cfg.Config.block_cache_bytes > 0 then
            Some
@@ -797,7 +803,9 @@ let enforce_wal_threshold t =
       guard := 1024
   done
 
-let write_batch t items =
+(* The raw write path, before admission control and degraded-state guards
+   (both live in the "Resilient write path" section below). *)
+let write_batch_inner t items =
   if items <> [] then begin
     Wal.append_batch t.wal ~first_seq:(Int64.add t.seq 1L) items;
     List.iter (fun (kind, key, value) -> apply t kind key value) items;
@@ -827,10 +835,6 @@ let write_batch t items =
       drain ()
     end
   end
-
-let put t ~key ~value = write_batch t [ (Ikey.Value, key, value) ]
-
-let delete t ~key = write_batch t [ (Ikey.Deletion, key, "") ]
 
 let flush t = Array.iter (fun b -> flush_bucket t b) t.buckets
 
@@ -876,7 +880,8 @@ let get_at t key ~snapshot =
     in
     levels 0
 
-let get t key = get_at t key ~snapshot:t.seq
+(* [get]/[scan] are defined in the resilience section below, wrapping
+   [get_at]/[scan_at] with corruption quarantine. *)
 
 (* Lazy stream of visible (key, value) pairs with lo <= key < hi at the
    given snapshot — newest visible version per key, tombstones elided.
@@ -967,7 +972,6 @@ let iter_range t ?snapshot ~lo ~hi () =
 let scan_at t ~lo ~hi ?(limit = max_int) ~snapshot () =
   visible_seq t ~lo ~hi ~snapshot |> Seq.take limit |> List.of_seq
 
-let scan t ~lo ~hi ?limit () = scan_at t ~lo ~hi ?limit ~snapshot:t.seq ()
 
 (* ------------------------------------------------------------------ *)
 (* Recovery *)
@@ -1025,6 +1029,8 @@ let recover ?env:env_opt cfg =
         splits = 0;
         compactions = 0;
         io_credit = 0;
+        health = Intf.Healthy;
+        quarantined = [];
         cache =
           (if cfg.Config.block_cache_bytes > 0 then
              Some
@@ -1121,6 +1127,229 @@ let checkpoint t =
   Manifest.append t.manifest
     (Manifest.Watermark { seq = t.seq; next_file = t.next_file });
   Manifest.sync t.manifest
+
+(* ------------------------------------------------------------------ *)
+(* Resilient write path: admission control, degraded state, quarantine.
+
+   Layering: the Env underneath already retries transient faults when
+   wrapped by [Env.with_retry], so any [Io_fault] that reaches this layer
+   has exhausted its retry budget (or carries [retryable = false]). The
+   store then stops accepting mutations — reads keep working — until a
+   recovery probe's durable round-trip succeeds. Exceptions are classified
+   through [Env.io_fault_detail] / [Env.corruption_detail] rather than
+   matched: lint rule R6 reserves [Io_fault] handlers for [lib/storage]
+   and [Wip_util.Retry]. *)
+
+let health t = t.health
+
+let quarantined_tables t = t.quarantined
+
+let degrade t ~reason =
+  match t.health with
+  | Intf.Degraded _ -> ()
+  | Intf.Healthy ->
+    t.health <- Intf.Degraded { reason };
+    Io_stats.record_degraded_transition (io_stats t)
+
+(* Memtable bytes plus estimated compaction debt: the quantity the
+   watermarks gate on, and the quantity [bench/stall.ml] asserts stays
+   bounded when admission control is on. *)
+let write_pressure t =
+  Array.fold_left (fun acc b -> acc + Memtable.byte_size b.memtable) 0
+    t.buckets
+  + maintenance_pending t
+
+(* Write admission. This engine runs all maintenance on the writing thread
+   — there is no background pool at this layer — so a stall is not a sleep
+   but a debt payment: the stalled writer flushes and compacts until the
+   pressure drops below the stop watermark or the deadline passes. The
+   slowdown band pays one bounded slice and admits; the sharded front end
+   layers real (pool-drained) waits on top of this. *)
+let admit t =
+  if not t.cfg.Config.admission_control then Ok ()
+  else begin
+    let slowdown = t.cfg.Config.slowdown_watermark_bytes in
+    let stop = t.cfg.Config.stop_watermark_bytes in
+    if write_pressure t < slowdown then Ok ()
+    else begin
+      let started = Unix.gettimeofday () in
+      let deadline = started +. t.cfg.Config.stall_deadline_s in
+      let pay_slice () =
+        if maintenance_pending t > 0 then
+          maintenance t ~budget_bytes:t.cfg.Config.memtable_bytes ()
+        else begin
+          (* All pressure is MemTable bytes: flush the fullest one. *)
+          let fullest = ref None in
+          Array.iter
+            (fun b ->
+              let sz = Memtable.byte_size b.memtable in
+              if sz > 0 then
+                match !fullest with
+                | Some (sz', _) when sz' >= sz -> ()
+                | _ -> fullest := Some (sz, b))
+            t.buckets;
+          match !fullest with Some (_, b) -> flush_bucket t b | None -> ()
+        end
+      in
+      let result =
+        if write_pressure t < stop then begin
+          pay_slice ();
+          Ok ()
+        end
+        else begin
+          let rec stall_loop () =
+            let p = write_pressure t in
+            if p < stop then Ok ()
+            else if Unix.gettimeofday () >= deadline then
+              Error (Intf.Backpressure { shard = 0; debt_bytes = p })
+            else begin
+              pay_slice ();
+              (* When nothing can make progress (nothing flushable or
+                 compactable) the loop must not spin hot; the deadline
+                 still bounds it. *)
+              if write_pressure t >= p then Unix.sleepf 0.0002;
+              stall_loop ()
+            end
+          in
+          stall_loop ()
+        end
+      in
+      Io_stats.record_stall (io_stats t)
+        ~ns:(int_of_float ((Unix.gettimeofday () -. started) *. 1e9));
+      result
+    end
+  end
+
+let try_write_batch t items =
+  match t.health with
+  | Intf.Degraded { reason } -> Error (Intf.Store_degraded { reason })
+  | Intf.Healthy -> (
+    if items = [] then Ok ()
+    else
+      try
+        match admit t with
+        | Error _ as e -> e
+        | Ok () ->
+          write_batch_inner t items;
+          Ok ()
+      with e -> (
+        match Env.io_fault_detail e with
+        | Some reason ->
+          degrade t ~reason;
+          Error (Intf.Store_degraded { reason })
+        | None -> raise e))
+
+let write_batch t items =
+  match try_write_batch t items with
+  | Ok () -> ()
+  | Error e -> raise (Intf.Rejected e)
+
+let put t ~key ~value = write_batch t [ (Ikey.Value, key, value) ]
+
+let delete t ~key = write_batch t [ (Ikey.Deletion, key, "") ]
+
+(* Maintenance entry points get the same degraded-state discipline as
+   writes: a fault that survives the env's retries flips the store
+   read-only and surfaces typed. (Internal callers — admission, WAL
+   enforcement — use the unguarded versions above; the guard at the public
+   boundary sees their faults when they propagate.) *)
+let guard_durable t f =
+  match t.health with
+  | Intf.Degraded { reason } -> raise (Intf.Rejected (Intf.Store_degraded { reason }))
+  | Intf.Healthy -> (
+    try f ()
+    with e -> (
+      match Env.io_fault_detail e with
+      | Some reason ->
+        degrade t ~reason;
+        raise (Intf.Rejected (Intf.Store_degraded { reason }))
+      | None -> raise e))
+
+let flush t = guard_durable t (fun () -> flush t)
+
+let maintenance t ?budget_bytes () =
+  guard_durable t (fun () -> maintenance t ?budget_bytes ())
+
+let probe t =
+  match t.health with
+  | Intf.Healthy -> Intf.Healthy
+  | Intf.Degraded _ -> (
+    (* One genuine durable round-trip through the same path writes use: a
+       checkpoint watermark appended and synced. Success proves the device
+       accepts writes again. *)
+    match checkpoint t with
+    | () ->
+      t.health <- Intf.Healthy;
+      t.health
+    | exception e -> (
+      match Env.io_fault_detail e with
+      | Some reason ->
+        t.health <- Intf.Degraded { reason };
+        t.health
+      | None -> raise e))
+
+(* Quarantine: a table whose bytes fail validation is dropped from its
+   level (manifest edit included, so recovery agrees), its reader and
+   cached blocks discarded, and the file renamed aside with a
+   ".quarantined" suffix — outside the ".lvt" namespace, so neither
+   [gc_orphans] nor recovery will touch the evidence. Serving continues
+   from the remaining runs. Returns [true] when a table was found and
+   removed, guaranteeing the caller's retry makes progress. *)
+let quarantine t ~file ~detail =
+  let found = ref false in
+  Array.iter
+    (fun b ->
+      Array.iteri
+        (fun level tables ->
+          if
+            (not !found)
+            && List.exists
+                 (fun (m : Table.meta) -> String.equal m.Table.name file)
+                 tables
+          then begin
+            found := true;
+            let meta =
+              List.find
+                (fun (m : Table.meta) -> String.equal m.Table.name file)
+                tables
+            in
+            b.levels.(level) <-
+              List.filter
+                (fun (m : Table.meta) ->
+                  not (String.equal m.Table.name file))
+                tables;
+            log_remove_table t b level meta;
+            Manifest.sync t.manifest;
+            (match Hashtbl.find_opt t.readers file with
+            | Some r ->
+              Table.Reader.close r;
+              Hashtbl.remove t.readers file
+            | None -> ());
+            (match t.cache with
+            | Some cache -> Wip_storage.Block_cache.evict_file cache file
+            | None -> ());
+            (try Env.rename t.env ~src:file ~dst:(file ^ ".quarantined")
+             with Not_found -> ());
+            t.quarantined <- (file, detail) :: t.quarantined
+          end)
+        b.levels)
+    t.buckets;
+  !found
+
+let rec get t key =
+  try get_at t key ~snapshot:t.seq
+  with e -> (
+    match Env.corruption_detail e with
+    | Some (file, detail) when quarantine t ~file ~detail -> get t key
+    | _ -> raise e)
+
+let rec scan t ~lo ~hi ?limit () =
+  try scan_at t ~lo ~hi ?limit ~snapshot:t.seq ()
+  with e -> (
+    match Env.corruption_detail e with
+    | Some (file, detail) when quarantine t ~file ~detail ->
+      scan t ~lo ~hi ?limit ()
+    | _ -> raise e)
 
 (* ------------------------------------------------------------------ *)
 (* Introspection *)

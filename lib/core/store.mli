@@ -74,6 +74,14 @@ val memtable_probes : t -> int
 
 val config : t -> Config.t
 
+val write_pressure : t -> int
+(** MemTable bytes plus estimated compaction debt — the quantity the
+    admission watermarks gate on. *)
+
+val quarantined_tables : t -> (string * string) list
+(** [(file, corruption detail)] of tables renamed aside after failing
+    validation, newest first. *)
+
 val live_table_files : t -> string list
 (** Names of every table file the bucket directory references — after
     recovery, exactly the table files present on the Env (orphans are

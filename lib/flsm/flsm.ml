@@ -741,3 +741,14 @@ let guard_count t ~level =
 let level_count t = 1 + deepest_nonempty t
 
 let compaction_count t = t.compactions
+
+(* Resilience interface: this baseline has no admission control or degraded
+   state — it exists for I/O-pattern comparison, not fault drills. Writes
+   are always admitted and faults propagate raw. *)
+let try_write_batch t items =
+  write_batch t items;
+  Ok ()
+
+let health _ = Wip_kv.Store_intf.Healthy
+
+let probe _ = Wip_kv.Store_intf.Healthy

@@ -2,13 +2,54 @@
     (WipDB and the LevelDB-, RocksDB- and PebblesDB-like baselines), so the
     benchmark harness and the examples can drive them interchangeably. *)
 
+type health =
+  | Healthy
+  | Degraded of { reason : string }
+      (** Read-only: a durable write failed after exhausting its retry
+          budget. Reads and scans keep working; mutations are rejected with
+          {!Store_degraded} until a recovery probe succeeds. *)
+
+(** Why a write was not accepted. *)
+type write_error =
+  | Backpressure of { shard : int; debt_bytes : int }
+      (** Admission control held the write past its stall deadline:
+          memtable bytes plus compaction debt on [shard] stood at
+          [debt_bytes], above the stop watermark. Transient — retry after
+          letting maintenance catch up. *)
+  | Store_degraded of { reason : string }
+      (** The store is in read-only {!Degraded} state. *)
+
+exception Rejected of write_error
+(** Raised by the [unit]-returning mutation entry points ([put], [delete],
+    [write_batch]) when the write is refused; [try_write_batch] returns the
+    same information as a [result]. *)
+
+let write_error_to_string = function
+  | Backpressure { shard; debt_bytes } ->
+    Printf.sprintf "backpressure: shard %d holds %d debt bytes" shard
+      debt_bytes
+  | Store_degraded { reason } -> Printf.sprintf "store degraded: %s" reason
+
 module type S = sig
   type t
 
   val put : t -> key:string -> value:string -> unit
 
   val write_batch : t -> (Wip_util.Ikey.kind * string * string) list -> unit
-  (** Atomically logged batch (the paper batches 1000 writes per log append). *)
+  (** Atomically logged batch (the paper batches 1000 writes per log append).
+      @raise Rejected when admission control or degraded state refuses it. *)
+
+  val try_write_batch :
+    t -> (Wip_util.Ikey.kind * string * string) list ->
+    (unit, write_error) result
+  (** [write_batch] with the refusal as data instead of an exception. *)
+
+  val health : t -> health
+
+  val probe : t -> health
+  (** Attempt recovery when {!Degraded}: perform one durable write
+      round-trip; on success the store returns to {!Healthy}. The returned
+      value is the health after the probe. No-op when already healthy. *)
 
   val delete : t -> key:string -> unit
 
@@ -46,6 +87,11 @@ type store = Store : (module S with type t = 'a) * 'a -> store
 
 let put (Store ((module M), t)) ~key ~value = M.put t ~key ~value
 let write_batch (Store ((module M), t)) items = M.write_batch t items
+
+let try_write_batch (Store ((module M), t)) items = M.try_write_batch t items
+
+let health (Store ((module M), t)) = M.health t
+let probe (Store ((module M), t)) = M.probe t
 let delete (Store ((module M), t)) ~key = M.delete t ~key
 let get (Store ((module M), t)) key = M.get t key
 

@@ -1,6 +1,21 @@
-exception Io_fault of { op : string; file : string }
+exception Io_fault of { op : string; file : string; retryable : bool }
 
 exception Corruption of { file : string; detail : string }
+
+(* Exception classifiers. R6 restricts handlers that *match* Io_fault to
+   lib/storage and Wip_util.Retry; upper layers catch generically and consult
+   these, so the fault vocabulary stays defined in one place. *)
+let io_fault_retryable = function
+  | Io_fault { retryable; _ } -> retryable
+  | _ -> false
+
+let io_fault_detail = function
+  | Io_fault { op; file; _ } -> Some (Printf.sprintf "%s on %s" op file)
+  | _ -> None
+
+let corruption_detail = function
+  | Corruption { file; detail } -> Some (file, detail)
+  | _ -> None
 
 (* A custom backend is a vtable of closures: the hook Fault_env (and any
    future backend) uses to sit underneath every byte the store moves. *)
@@ -31,13 +46,28 @@ type backend =
   | Posix of string (* root directory *)
   | Custom of custom
 
+(* Retry configuration attached by [with_retry]. The op counter seeds a
+   fresh Rng per durable operation, so backoff schedules are deterministic
+   from [r_seed] yet uncorrelated across ops, with no shared Rng lock. *)
+type retry_state = {
+  r_policy : Wip_util.Retry.policy;
+  r_seed : int64;
+  r_sleep_ns : int -> unit;
+  r_ops : int Atomic.t;
+}
+
 (* [lock] guards the Mem backend's file table: one in-memory Env may back
    several shard stores driven from parallel threads, and Hashtbl mutations
    race without it. Posix and Custom backends rely on the OS / the custom
    implementation for their own metadata atomicity. File *contents* need no
    lock here: distinct files own distinct buffers, and each store serializes
    access to its own files. *)
-type t = { backend : backend; stats : Io_stats.t; lock : Wip_util.Sync.t }
+type t = {
+  backend : backend;
+  stats : Io_stats.t;
+  lock : Wip_util.Sync.t;
+  retry : retry_state option;
+}
 
 type writer = {
   w_env : t;
@@ -61,6 +91,7 @@ let in_memory () =
     backend = Mem (Hashtbl.create 64);
     stats = Io_stats.create ();
     lock = Wip_util.Sync.create ~name:"env" ();
+    retry = None;
   }
 
 let custom c =
@@ -68,6 +99,7 @@ let custom c =
     backend = Custom c;
     stats = Io_stats.create ();
     lock = Wip_util.Sync.create ~name:"env" ();
+    retry = None;
   }
 
 let rec mkdir_p dir =
@@ -82,9 +114,44 @@ let posix ~root =
     backend = Posix root;
     stats = Io_stats.create ();
     lock = Wip_util.Sync.create ~name:"env" ();
+    retry = None;
   }
 
 let stats t = t.stats
+
+let default_sleep_ns ns = if ns > 0 then Unix.sleepf (float_of_int ns /. 1e9)
+
+let with_retry ?(policy = Wip_util.Retry.default_policy)
+    ?(sleep_ns = default_sleep_ns) ~seed t =
+  (match Wip_util.Retry.validate policy with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Env.with_retry: " ^ msg));
+  {
+    t with
+    retry =
+      Some { r_policy = policy; r_seed = seed; r_sleep_ns = sleep_ns;
+             r_ops = Atomic.make 0 };
+  }
+
+(* Run one durable operation under the env's retry policy, if any. Only
+   transient faults ([Io_fault] with [retryable = true]) are re-attempted;
+   the Io_fault contract — the failed op had no effect — is what makes the
+   blind re-run sound. Each re-attempt is counted in [Io_stats.retry_count]. *)
+let retried t f =
+  match t.retry with
+  | None -> f ()
+  | Some r ->
+    let op = Atomic.fetch_and_add r.r_ops 1 in
+    let rng =
+      Wip_util.Rng.create
+        ~seed:
+          (Int64.logxor r.r_seed
+             (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (op + 1))))
+    in
+    Wip_util.Retry.run ~policy:r.r_policy ~rng ~sleep_ns:r.r_sleep_ns
+      ~is_retryable:io_fault_retryable
+      ~on_retry:(fun ~attempt:_ ~delay_ns:_ -> Io_stats.record_retry t.stats)
+      f
 
 let locked t f = Wip_util.Sync.with_lock t.lock f
 
@@ -103,23 +170,26 @@ let fsync_dir dir =
   | exception Unix.Unix_error _ -> ()
 
 let create_file t name =
-  match t.backend with
-  | Mem files ->
-    let buf = Buffer.create 4096 in
-    locked t (fun () -> Hashtbl.replace files name buf);
-    { w_env = t; w_name = name; w_off = 0; w_impl = W_mem buf }
-  | Posix root ->
-    let oc = open_out_bin (posix_path root name) in
-    fsync_dir root;
-    { w_env = t; w_name = name; w_off = 0; w_impl = W_posix oc }
-  | Custom c ->
-    { w_env = t; w_name = name; w_off = 0; w_impl = W_custom (c.c_create name) }
+  retried t (fun () ->
+      match t.backend with
+      | Mem files ->
+        let buf = Buffer.create 4096 in
+        locked t (fun () -> Hashtbl.replace files name buf);
+        { w_env = t; w_name = name; w_off = 0; w_impl = W_mem buf }
+      | Posix root ->
+        let oc = open_out_bin (posix_path root name) in
+        fsync_dir root;
+        { w_env = t; w_name = name; w_off = 0; w_impl = W_posix oc }
+      | Custom c ->
+        { w_env = t; w_name = name; w_off = 0;
+          w_impl = W_custom (c.c_create name) })
 
 let append w ~category s =
-  (match w.w_impl with
-  | W_mem buf -> Buffer.add_string buf s
-  | W_posix oc -> output_string oc s
-  | W_custom cw -> cw.cw_append s);
+  retried w.w_env (fun () ->
+      match w.w_impl with
+      | W_mem buf -> Buffer.add_string buf s
+      | W_posix oc -> output_string oc s
+      | W_custom cw -> cw.cw_append s);
   Io_stats.record_write w.w_env.stats category (String.length s);
   w.w_off <- w.w_off + String.length s
 
@@ -127,12 +197,14 @@ let writer_offset w = w.w_off
 
 let sync w =
   Io_stats.record_sync w.w_env.stats;
-  match w.w_impl with
-  | W_mem _ -> ()
-  | W_posix oc ->
-    flush oc;
-    (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ())
-  | W_custom cw -> cw.cw_sync ()
+  retried w.w_env (fun () ->
+      match w.w_impl with
+      | W_mem _ -> ()
+      | W_posix oc ->
+        flush oc;
+        (try Unix.fsync (Unix.descr_of_out_channel oc)
+         with Unix.Unix_error _ -> ())
+      | W_custom cw -> cw.cw_sync ())
 
 let close_writer w =
   match w.w_impl with
@@ -188,29 +260,31 @@ let exists t name =
   | Custom c -> c.c_exists name
 
 let delete t name =
-  match t.backend with
-  | Mem files -> locked t (fun () -> Hashtbl.remove files name)
-  | Posix root ->
-    let path = posix_path root name in
-    if Sys.file_exists path then begin
-      Sys.remove path;
-      fsync_dir root
-    end
-  | Custom c -> c.c_delete name
+  retried t (fun () ->
+      match t.backend with
+      | Mem files -> locked t (fun () -> Hashtbl.remove files name)
+      | Posix root ->
+        let path = posix_path root name in
+        if Sys.file_exists path then begin
+          Sys.remove path;
+          fsync_dir root
+        end
+      | Custom c -> c.c_delete name)
 
 let rename t ~src ~dst =
-  match t.backend with
-  | Mem files ->
-    locked t (fun () ->
-        match Hashtbl.find_opt files src with
-        | None -> raise Not_found
-        | Some buf ->
-          Hashtbl.remove files src;
-          Hashtbl.replace files dst buf)
-  | Posix root ->
-    Sys.rename (posix_path root src) (posix_path root dst);
-    fsync_dir root
-  | Custom c -> c.c_rename ~src ~dst
+  retried t (fun () ->
+      match t.backend with
+      | Mem files ->
+        locked t (fun () ->
+            match Hashtbl.find_opt files src with
+            | None -> raise Not_found
+            | Some buf ->
+              Hashtbl.remove files src;
+              Hashtbl.replace files dst buf)
+      | Posix root ->
+        Sys.rename (posix_path root src) (posix_path root dst);
+        fsync_dir root
+      | Custom c -> c.c_rename ~src ~dst)
 
 let list_files t =
   match t.backend with

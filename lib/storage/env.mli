@@ -12,13 +12,30 @@
 
     Paths are flat strings ("000017.lvt", "wal/000002.log", ...). *)
 
-exception Io_fault of { op : string; file : string }
-(** A transient device error (injected by {!Fault_env} or surfaced by a
-    backend). The operation had no effect; retrying is legal. *)
+exception Io_fault of { op : string; file : string; retryable : bool }
+(** A device error (injected by {!Fault_env} or surfaced by a backend). The
+    operation had no effect. [retryable] classifies it: [true] for transient
+    errors that may succeed if re-attempted, [false] for permanent ones
+    (disk full, failed media) that must never be spun on.
+
+    Lint rule R6 restricts exception handlers that {e match} this exception
+    to [lib/storage] and [Wip_util.Retry]. Other layers catch generically
+    and consult the classifiers below. *)
 
 exception Corruption of { file : string; detail : string }
 (** Stored bytes failed validation (checksum mismatch, impossible offsets,
     bad magic). Raised by readers instead of ever decoding garbage. *)
+
+val io_fault_retryable : exn -> bool
+(** [true] exactly for [Io_fault { retryable = true; _ }]. The classifier
+    {!with_retry} uses; exposed so upper layers can classify without
+    matching the exception themselves. *)
+
+val io_fault_detail : exn -> string option
+(** ["op on file"] for an [Io_fault], [None] otherwise. *)
+
+val corruption_detail : exn -> (string * string) option
+(** [(file, detail)] for a {!Corruption}, [None] otherwise. *)
 
 type t
 
@@ -66,6 +83,32 @@ val custom : custom -> t
 (** Wrap a custom backend; I/O accounting still happens in this module. *)
 
 val stats : t -> Io_stats.t
+
+(** {1 Transient-fault retry} *)
+
+val with_retry :
+  ?policy:Wip_util.Retry.policy ->
+  ?sleep_ns:(int -> unit) ->
+  seed:int64 ->
+  t ->
+  t
+(** [with_retry ~seed t] is a derived env sharing [t]'s backend, stats and
+    lock, whose durable operations — {!create_file}, {!append}, {!sync},
+    {!delete}, {!rename} — are re-attempted under [policy] (default
+    {!Wip_util.Retry.default_policy}) when they raise a retryable
+    {!Io_fault}. Because every durable byte of WAL, flush, compaction,
+    split and manifest traffic flows through these five entry points, this
+    one wrapper covers every durable-op site in the store.
+
+    Reads are deliberately {e not} retried: a read fault must propagate
+    typed to the caller so the read path can fail the one lookup rather
+    than stall it.
+
+    The backoff schedule is deterministic: each durable op derives a fresh
+    {!Wip_util.Rng} from [seed] and a per-env op counter. [sleep_ns]
+    (default: real [Unix.sleepf]) is swappable for tests. Re-attempts are
+    counted by {!Io_stats.retry_count}.
+    @raise Invalid_argument if [policy] fails [Retry.validate]. *)
 
 (** {1 Writing} *)
 

@@ -8,12 +8,16 @@ type file = {
   mutable synced : int; (* durable prefix length, <= len *)
 }
 
-type fault = Crash of { torn : int } | Fail
+type fault = Crash of { torn : int } | Fail of { retryable : bool }
 
 type t = {
   files : (string, file) Hashtbl.t;
   mutable durable_plan : (int * fault) list;
   mutable read_plan : int list;
+  mutable storms : (int * int) list; (* [first, last) durable-op windows *)
+  mutable space_budget : int option; (* appended-byte budget; None = infinite *)
+  mutable appended : int; (* bytes successfully appended so far *)
+  mutable latency_ns : int; (* injected delay per durable op *)
   mutable durable_ops : int;
   mutable read_ops : int;
   mutable captured : (string * string) list option;
@@ -57,20 +61,32 @@ let capture t ~torn_file ~torn ~buffered =
   in
   t.captured <- Some image
 
+let in_storm t =
+  List.exists (fun (lo, hi) -> t.durable_ops >= lo && t.durable_ops < hi)
+    t.storms
+
 (* One durable op: consult the plan, then run [apply]. A crash captures the
    image with the op's bytes already buffered, so [torn] can expose any
-   prefix of them. *)
+   prefix of them. Each attempt — including a retry of a failed op — counts
+   as a fresh op, so a storm window [i, j) fails every attempt made while
+   the window lasts and lets a later retry through. *)
 let durable_op t ~op_name ~file ~torn_file ~buffered ~apply =
   t.durable_ops <- t.durable_ops + 1;
+  if t.latency_ns > 0 then Unix.sleepf (float_of_int t.latency_ns /. 1e9);
   match List.assoc_opt t.durable_ops t.durable_plan with
   | Some (Crash { torn }) ->
     Io_stats.record_fault (stats t);
     capture t ~torn_file ~torn ~buffered;
     raise Crashed
-  | Some Fail ->
+  | Some (Fail { retryable }) ->
     Io_stats.record_fault (stats t);
-    raise (Env.Io_fault { op = op_name; file })
-  | None -> apply ()
+    raise (Env.Io_fault { op = op_name; file; retryable })
+  | None ->
+    if in_storm t then begin
+      Io_stats.record_fault (stats t);
+      raise (Env.Io_fault { op = op_name; file; retryable = true })
+    end;
+    apply ()
 
 let backend t =
   let create name =
@@ -79,13 +95,23 @@ let backend t =
     {
       Env.cw_append =
         (fun s ->
+          (* Disk full is permanent: checked before the op is even numbered,
+             raised with [retryable = false] so no retry loop spins on it. *)
+          (match t.space_budget with
+          | Some budget when t.appended + String.length s > budget ->
+            Io_stats.record_fault (stats t);
+            raise (Env.Io_fault { op = "no_space"; file = name;
+                                  retryable = false })
+          | _ -> ());
           (* Buffer the bytes first so a crash here can tear them. *)
           ensure_capacity f (String.length s);
           Bytes.blit_string s 0 f.data f.len (String.length s);
           let before = f.len in
           durable_op t ~op_name:"append" ~file:name ~torn_file:name
             ~buffered:(before + String.length s)
-            ~apply:(fun () -> f.len <- before + String.length s));
+            ~apply:(fun () ->
+              f.len <- before + String.length s;
+              t.appended <- t.appended + String.length s));
       cw_sync =
         (fun () ->
           (* The tail being persisted is still unsynced if we crash here. *)
@@ -105,7 +131,10 @@ let backend t =
           t.read_ops <- t.read_ops + 1;
           if List.mem t.read_ops t.read_plan then begin
             Io_stats.record_fault (stats t);
-            raise (Env.Io_fault { op = "read"; file = name })
+            (* Read faults are never retried by the env (reads fail the one
+               lookup, typed); retryable = false keeps that explicit. *)
+            raise (Env.Io_fault { op = "read"; file = name;
+                                  retryable = false })
           end;
           String.sub snapshot pos len);
       cr_close = (fun () -> ());
@@ -131,6 +160,10 @@ let create () =
       files = Hashtbl.create 64;
       durable_plan = [];
       read_plan = [];
+      storms = [];
+      space_budget = None;
+      appended = 0;
+      latency_ns = 0;
       durable_ops = 0;
       read_ops = 0;
       captured = None;
@@ -145,9 +178,23 @@ let env t = match t.wrapped with Some e -> e | None -> assert false
 let crash_at t ~op ?(torn = 0) () =
   t.durable_plan <- (op, Crash { torn }) :: t.durable_plan
 
-let fail_write_at t ~op = t.durable_plan <- (op, Fail) :: t.durable_plan
+let fail_write_at t ?(retryable = true) ~op () =
+  t.durable_plan <- (op, Fail { retryable }) :: t.durable_plan
 
 let fail_read_at t ~op = t.read_plan <- op :: t.read_plan
+
+let storm t ~first_op ~last_op =
+  if first_op < 1 || last_op < first_op then
+    invalid_arg "Fault_env.storm: need 1 <= first_op <= last_op";
+  t.storms <- (first_op, last_op) :: t.storms
+
+let set_space_budget t ~bytes = t.space_budget <- bytes
+
+let set_latency t ~durable_ns =
+  if durable_ns < 0 then invalid_arg "Fault_env.set_latency: negative";
+  t.latency_ns <- durable_ns
+
+let appended_bytes t = t.appended
 
 let flip_bit t ~file ~bit =
   let f = find_file t file in

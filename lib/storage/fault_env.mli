@@ -45,11 +45,35 @@ val crash_at : t -> op:int -> ?torn:int -> unit -> unit
     issue order) executes. [torn] (default 0) bytes of the affected file's
     unsynced tail survive into the image beyond its synced prefix. *)
 
-val fail_write_at : t -> op:int -> unit
-(** Raise {!Env.Io_fault} at durable op [op] instead of applying it. *)
+val fail_write_at : t -> ?retryable:bool -> op:int -> unit -> unit
+(** Raise {!Env.Io_fault} at durable op [op] instead of applying it.
+    [retryable] (default [true]) marks the fault transient; pass [false]
+    to model a permanent error that retry loops must give up on. *)
 
 val fail_read_at : t -> op:int -> unit
-(** Raise {!Env.Io_fault} at read op [op] (1-based, counting reads). *)
+(** Raise {!Env.Io_fault} at read op [op] (1-based, counting reads). Read
+    faults carry [retryable = false] — the read path surfaces them typed
+    rather than re-attempting. *)
+
+val storm : t -> first_op:int -> last_op:int -> unit
+(** A transient-fault storm: every durable op in [[first_op, last_op)]
+    raises a retryable {!Env.Io_fault}. Retries themselves are numbered
+    ops, so a storm of width [w] defeats fewer than ⌈w / (attempts - 1)⌉
+    logical operations before the window passes. Storms stack. *)
+
+val set_space_budget : t -> bytes:int option -> unit
+(** Disk full after a byte budget: once [bytes] total have been appended
+    successfully, any further append raises
+    [Io_fault { op = "no_space"; retryable = false }] before the bytes are
+    buffered. [None] (the initial state) removes the limit. *)
+
+val set_latency : t -> durable_ns:int -> unit
+(** Sleep [durable_ns] nanoseconds before each durable op — a slow device,
+    for exercising stall deadlines. 0 (the initial state) disables. *)
+
+val appended_bytes : t -> int
+(** Total bytes successfully appended — the amount charged against the
+    space budget. *)
 
 val flip_bit : t -> file:string -> bit:int -> unit
 (** Flip bit [bit] (counting from bit 0 of byte 0) of the stored file —

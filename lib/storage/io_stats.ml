@@ -34,6 +34,10 @@ type t = {
   mutable level_r : int array; (* reads from level i *)
   mutable syncs : int; (* durability barriers issued *)
   mutable faults : int; (* injected faults (crashes, I/O errors, bit flips) *)
+  mutable stalls : int; (* admission-control write stalls *)
+  mutable stall_ns : int; (* total time spent in those stalls *)
+  mutable retries : int; (* durable-op re-attempts after transient faults *)
+  mutable degraded_transitions : int; (* Healthy -> Degraded edges *)
   mutable bloom_probes : int; (* bloom filter consultations on reads *)
   mutable bloom_negatives : int; (* probes answered "definitely absent" *)
   mutable bloom_fps : int; (* maybe-answers that then found nothing *)
@@ -60,6 +64,10 @@ let create () =
     level_r = Array.make 8 0;
     syncs = 0;
     faults = 0;
+    stalls = 0;
+    stall_ns = 0;
+    retries = 0;
+    degraded_transitions = 0;
     bloom_probes = 0;
     bloom_negatives = 0;
     bloom_fps = 0;
@@ -138,9 +146,27 @@ let block_fetch_count t = locked t (fun () -> t.block_fetches)
 
 let record_fault t = locked t (fun () -> t.faults <- t.faults + 1)
 
+let record_stall t ~ns =
+  locked t (fun () ->
+      t.stalls <- t.stalls + 1;
+      t.stall_ns <- t.stall_ns + max 0 ns)
+
+let record_retry t = locked t (fun () -> t.retries <- t.retries + 1)
+
+let record_degraded_transition t =
+  locked t (fun () -> t.degraded_transitions <- t.degraded_transitions + 1)
+
 let sync_count t = locked t (fun () -> t.syncs)
 
 let fault_count t = locked t (fun () -> t.faults)
+
+let stall_count t = locked t (fun () -> t.stalls)
+
+let stall_ns t = locked t (fun () -> t.stall_ns)
+
+let retry_count t = locked t (fun () -> t.retries)
+
+let degraded_transition_count t = locked t (fun () -> t.degraded_transitions)
 
 let sum = Array.fold_left ( + ) 0
 
@@ -225,6 +251,10 @@ let reset t =
       t.table_meta_r <- 0;
       t.syncs <- 0;
       t.faults <- 0;
+      t.stalls <- 0;
+      t.stall_ns <- 0;
+      t.retries <- 0;
+      t.degraded_transitions <- 0;
       t.bloom_probes <- 0;
       t.bloom_negatives <- 0;
       t.bloom_fps <- 0;
@@ -270,6 +300,10 @@ let diff cur base =
     level_r = sub_arrays cur.level_r base.level_r;
     syncs = cur.syncs - base.syncs;
     faults = cur.faults - base.faults;
+    stalls = cur.stalls - base.stalls;
+    stall_ns = cur.stall_ns - base.stall_ns;
+    retries = cur.retries - base.retries;
+    degraded_transitions = cur.degraded_transitions - base.degraded_transitions;
     bloom_probes = cur.bloom_probes - base.bloom_probes;
     bloom_negatives = cur.bloom_negatives - base.bloom_negatives;
     bloom_fps = cur.bloom_fps - base.bloom_fps;

@@ -32,6 +32,18 @@ val record_fault : t -> unit
 (** Count one injected fault (crash, transient I/O error, or bit flip);
     only fault-injection backends call this. *)
 
+val record_stall : t -> ns:int -> unit
+(** Count one admission-control write stall and the time it spent waiting
+    ([ns], clamped at 0). *)
+
+val record_retry : t -> unit
+(** Count one durable-op re-attempt after a transient fault (the retry
+    itself, not the original attempt). *)
+
+val record_degraded_transition : t -> unit
+(** Count one Healthy → Degraded edge — a store giving up on its write path
+    after exhausting retries. *)
+
 val record_bloom_probe : t -> negative:bool -> unit
 (** Count one bloom-filter consultation; [negative] when the filter ruled
     the key definitely absent. *)
@@ -58,6 +70,15 @@ val sync_count : t -> int
 (** Durability barriers issued — the denominator of fsync overhead. *)
 
 val fault_count : t -> int
+
+val stall_count : t -> int
+
+val stall_ns : t -> int
+(** Total nanoseconds spent in admission-control stalls. *)
+
+val retry_count : t -> int
+
+val degraded_transition_count : t -> int
 
 val bytes_written : t -> int
 (** Total device bytes written, across all categories except [User_write]

@@ -83,6 +83,26 @@ let with_lock t f =
   acquire t;
   Fun.protect ~finally:(fun () -> release t) f
 
+(* Deadline-bounded wait-for-condition. Stdlib Condition has no timed wait,
+   so this polls: release, sleep one quantum, reacquire, re-check. The
+   release/acquire pair keeps the debug-mode held stack exact, and the
+   quantum bounds how stale a satisfied predicate can go unnoticed. Callers
+   must already hold [t] (with_lock) and must treat a [false] return as a
+   hard timeout — the predicate may of course become true immediately
+   after. *)
+let await t ?(quantum_s = 0.0002) ~deadline pred =
+  let rec loop () =
+    if pred () then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      release t;
+      Unix.sleepf quantum_s;
+      acquire t;
+      loop ()
+    end
+  in
+  loop ()
+
 let rec check_ascending = function
   | a :: (b :: _ as rest) ->
     if b.lock_rank <= a.lock_rank then

@@ -50,6 +50,15 @@ val with_lock : t -> (unit -> 'a) -> 'a
     runs [f ()], and releases them in reverse order on any exit. *)
 val with_locks_ordered : t list -> (unit -> 'a) -> 'a
 
+(** [await t ~deadline pred] — must be called while holding [t] (inside
+    {!with_lock}) — returns [true] as soon as [pred ()] holds, re-checking
+    every [quantum_s] (default 0.2 ms) with the lock released between
+    checks, or [false] once {!Unix.gettimeofday} reaches [deadline]. The
+    lock is held whenever [pred] runs and on both return paths. This is
+    the primitive behind write-stall waits: a bounded, deadline-respecting
+    wait that can never park a writer forever. *)
+val await : t -> ?quantum_s:float -> deadline:float -> (unit -> bool) -> bool
+
 (** Enable / disable the per-domain acquisition-order validator. *)
 val set_debug : bool -> unit
 

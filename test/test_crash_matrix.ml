@@ -417,6 +417,113 @@ let test_wal_reclaim_under_crash () =
     (expected_state total_batches)
     (scan_all db)
 
+(* ------------------------------------------------------------------ *)
+(* Matrix row: disk full during flush. The device's byte budget runs out
+   while the store is streaming tables out, so a flush (or the WAL append
+   feeding it) hits a non-retryable [no_space] fault. The store must go
+   read-only typed, keep serving every acknowledged write from the live
+   image, and the durable image must still recover to a consistent batch
+   prefix — a partially-written, never-registered table is garbage, not
+   corruption. *)
+
+let test_disk_full_during_flush () =
+  let eng = wipdb_engine () in
+  let fenv = Fault_env.create () in
+  let env =
+    Env.with_retry ~seed:7L ~sleep_ns:(fun _ -> ()) (Fault_env.env fenv)
+  in
+  let db = Store.create ~env store_cfg in
+  (* Small enough to trip a few batches in (the profile run appends tens of
+     KiB), large enough that several flushes complete first. *)
+  Fault_env.set_space_budget fenv ~bytes:(Some 4096);
+  let acked = ref 0 in
+  (try
+     for b = 1 to total_batches do
+       match Store.try_write_batch db (batch_items b) with
+       | Ok () -> acked := b
+       | Error (Wip_kv.Store_intf.Store_degraded _) -> raise Exit
+       | Error (Wip_kv.Store_intf.Backpressure _) ->
+         Alcotest.fail "disk-full surfaced as backpressure"
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "ran out of space before finishing" true
+    (!acked < total_batches);
+  Alcotest.(check bool) "some batches landed first" true (!acked > 0);
+  (match Store.health db with
+  | Wip_kv.Store_intf.Degraded _ -> ()
+  | Wip_kv.Store_intf.Healthy -> Alcotest.fail "store still healthy");
+  (* Reads keep serving everything acknowledged, from the live store. The
+     refused batch may have applied before its flush hit the wall (refused
+     ≠ rolled back — it was simply never acknowledged), so only the
+     never-overwritten unique keys admit an exact-value check. *)
+  for b = 1 to !acked do
+    List.init uniques_per_batch (fun i -> i)
+    |> List.iter (fun i ->
+           Alcotest.(check (option string))
+             (Printf.sprintf "acked key %s survives degradation"
+                (uniq_key b i))
+             (Some (uniq_value b i))
+             (Store.get db (uniq_key b i)))
+  done;
+  (* Degradation is not recovery-visible damage: power off right now and
+     the durable image recovers to a clean prefix, idempotently. *)
+  check_invariants eng ~op:0 ~acked:!acked ~floor:0
+    (Fault_env.durable_image fenv);
+  (* Space restored: a recovery probe flips the store writable again. *)
+  Fault_env.set_space_budget fenv ~bytes:None;
+  (match Store.probe db with
+  | Wip_kv.Store_intf.Healthy -> ()
+  | Wip_kv.Store_intf.Degraded { reason } ->
+    Alcotest.failf "probe failed after space restored: %s" reason);
+  Store.put db ~key:"post-recovery" ~value:"ok";
+  Alcotest.(check (option string)) "writes accepted again" (Some "ok")
+    (Store.get db "post-recovery")
+
+(* Matrix row: crash during a retry backoff window. A transient fault at
+   durable op [k] sends the env's retry loop into its backoff, and the
+   crash fires on the re-attempt — the device dies while the store is
+   mid-retry. Recovery must satisfy the full invariant set (prefix state,
+   atomicity, orphan GC, idempotence) exactly as for a plain crash. *)
+
+let test_crash_during_retry_backoff () =
+  let eng = wipdb_engine () in
+  let with_retry_eng =
+    {
+      eng with
+      create =
+        (fun env ->
+          eng.create (Env.with_retry ~seed:11L ~sleep_ns:(fun _ -> ()) env));
+    }
+  in
+  let n = profile eng in
+  (* Sample the op range rather than the full matrix: the plain-crash rows
+     above already cover every op; this row pins the fault+retry+crash
+     interleaving specifically. *)
+  let sample = [ 2; n / 4; n / 2; n - 2 ] in
+  List.iter
+    (fun k ->
+      let fenv = Fault_env.create () in
+      (* Op k fails transiently; the retry consumes op k+1, where the
+         crash is scheduled — it fires inside the backoff window's
+         re-attempt. *)
+      Fault_env.fail_write_at fenv ~op:k ();
+      Fault_env.crash_at fenv ~op:(k + 1) ~torn:(k mod 3) ();
+      let progress = { acked = 0; floor = 0 } in
+      match run_workload with_retry_eng fenv progress with
+      | _ ->
+        Alcotest.failf "crash at retried op %d never fired" (k + 1)
+      | exception Fault_env.Crashed ->
+        let image = Fault_env.image fenv in
+        check_invariants eng ~op:(k + 1) ~acked:progress.acked
+          ~floor:progress.floor image;
+        (* The schedule really was fault-then-retry: one injected write
+           fault besides the crash. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "op %d: transient fault fired first" k)
+          true
+          (Io_stats.fault_count (Env.stats (Fault_env.env fenv)) >= 1))
+    sample
+
 let suite =
   [
     Alcotest.test_case "wipdb crash matrix" `Slow test_store_matrix;
@@ -424,4 +531,8 @@ let suite =
     Alcotest.test_case "flsm crash matrix" `Slow test_flsm_matrix;
     Alcotest.test_case "wal reclaim under crash" `Quick
       test_wal_reclaim_under_crash;
+    Alcotest.test_case "disk full during flush" `Quick
+      test_disk_full_during_flush;
+    Alcotest.test_case "crash during retry backoff" `Quick
+      test_crash_during_retry_backoff;
   ]

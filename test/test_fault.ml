@@ -64,10 +64,11 @@ let test_write_fault_is_transient () =
   let fenv = Fault_env.create () in
   let env = Fault_env.env fenv in
   let w = Env.create_file env "a" in
-  Fault_env.fail_write_at fenv ~op:1;
+  Fault_env.fail_write_at fenv ~op:1 ();
   (match Env.append w ~category:cat "x" with
   | () -> Alcotest.fail "scheduled fault did not fire"
-  | exception Env.Io_fault { op = "append"; file = "a" } -> ());
+  | exception Env.Io_fault { op = "append"; file = "a"; retryable = true } ->
+    ());
   (* The failed op had no effect; retrying is legal and succeeds. *)
   Env.append w ~category:cat "x";
   Env.sync w;
@@ -85,7 +86,8 @@ let test_read_fault_is_transient () =
   let r = Env.open_file env "a" in
   (match Env.read r ~category:cat ~pos:0 ~len:5 with
   | _ -> Alcotest.fail "scheduled read fault did not fire"
-  | exception Env.Io_fault { op = "read"; file = "a" } -> ());
+  | exception Env.Io_fault { op = "read"; file = "a"; retryable = false } ->
+    ());
   Alcotest.(check string) "retry succeeds" "hello"
     (Env.read r ~category:cat ~pos:0 ~len:5);
   Env.close_reader r
@@ -131,6 +133,92 @@ let test_deletes_are_durable () =
   Alcotest.(check bool) "deleted from the durable view too" false
     (Env.exists (Fault_env.durable_image fenv) "a")
 
+(* ------------------------------------------------------------------ *)
+(* Read faults through the cursor read path: a device read failing under a
+   Block.Cursor-backed point get must surface as the typed Io_fault — and
+   must not poison the block cache with a partial block. *)
+
+module Block_cache = Wip_storage.Block_cache
+module Table = Wip_sstable.Table
+module Ikey = Wip_util.Ikey
+
+let build_table env ~cache n =
+  let b =
+    Table.Builder.create env ~name:"t" ~category:Io_stats.Flush
+      ~expected_keys:n ()
+  in
+  for i = 0 to n - 1 do
+    Table.Builder.add b
+      (Ikey.make (Printf.sprintf "%06d" i) ~seq:(Int64.of_int (i + 1)))
+      (Printf.sprintf "value-%06d" i)
+  done;
+  ignore (Table.Builder.finish b);
+  Table.Reader.open_ ~cache env ~name:"t"
+
+let test_read_fault_under_cursor () =
+  let fenv = Fault_env.create () in
+  let env = Fault_env.env fenv in
+  let cache = Block_cache.create ~capacity_bytes:(1 lsl 20) in
+  (* Enough keys for several data blocks; opening the reader performs its
+     footer/index/filter reads, so the next read op is the data-block fetch
+     the get needs. *)
+  let r = build_table env ~cache 2000 in
+  let entries0 = Block_cache.entry_count cache in
+  Fault_env.fail_read_at fenv ~op:(Fault_env.read_ops fenv + 1);
+  let get () =
+    Table.Reader.get r ~category:Io_stats.Read_path "000700"
+      ~snapshot:Int64.max_int
+  in
+  (match get () with
+  | _ -> Alcotest.fail "scheduled read fault did not fire"
+  | exception Env.Io_fault { op = "read"; file = "t"; retryable = false } ->
+    ());
+  (* No cache poisoning: the failed fetch left nothing behind. *)
+  Alcotest.(check int) "no partial block cached" entries0
+    (Block_cache.entry_count cache);
+  (* The fault was transient at the device level: the same seek now
+     succeeds and only then does the block enter the cache. *)
+  (match get () with
+  | Some (Ikey.Value, v, seq) ->
+    Alcotest.(check string) "value after reread" "value-000700" v;
+    Alcotest.(check int64) "seq after reread" 701L seq
+  | _ -> Alcotest.fail "key lost after a transient read fault");
+  Alcotest.(check bool) "block cached after the successful fetch" true
+    (Block_cache.entry_count cache > entries0);
+  Table.Reader.close r
+
+(* The same fault surfacing through the full store read path: the store
+   stays Healthy (read faults do not degrade — only durable-write faults
+   do) and the retried get serves the value. *)
+let test_read_fault_through_store () =
+  let fenv = Fault_env.create () in
+  let env = Fault_env.env fenv in
+  let cfg =
+    {
+      Wipdb.Config.default with
+      Wipdb.Config.name = "rf";
+      memtable_items = 4;
+      block_cache_bytes = 1 lsl 20;
+    }
+  in
+  let db = Wipdb.Store.create ~env cfg in
+  for i = 0 to 15 do
+    Wipdb.Store.put db
+      ~key:(Printf.sprintf "k%03d" i)
+      ~value:(Printf.sprintf "v%03d" i)
+  done;
+  Wipdb.Store.flush db;
+  Fault_env.fail_read_at fenv ~op:(Fault_env.read_ops fenv + 1);
+  (match Wipdb.Store.get db "k007" with
+  | _ -> Alcotest.fail "scheduled read fault did not fire"
+  | exception Env.Io_fault { op = "read"; retryable = false; _ } -> ());
+  (match Wipdb.Store.health db with
+  | Wip_kv.Store_intf.Healthy -> ()
+  | Wip_kv.Store_intf.Degraded { reason } ->
+    Alcotest.failf "read fault degraded the store: %s" reason);
+  Alcotest.(check (option string)) "reread serves the value" (Some "v007")
+    (Wipdb.Store.get db "k007")
+
 let test_sync_counter () =
   let env = Env.in_memory () in
   let w = Env.create_file env "a" in
@@ -156,5 +244,9 @@ let suite =
     Alcotest.test_case "durable and snapshot images" `Quick
       test_durable_and_snapshot_images;
     Alcotest.test_case "deletes are durable" `Quick test_deletes_are_durable;
+    Alcotest.test_case "read fault under cursor" `Quick
+      test_read_fault_under_cursor;
+    Alcotest.test_case "read fault through store" `Quick
+      test_read_fault_through_store;
     Alcotest.test_case "sync counter" `Quick test_sync_counter;
   ]

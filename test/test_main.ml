@@ -23,5 +23,6 @@ let () =
       ("crash", Test_crash.suite);
       ("crash-matrix", Test_crash_matrix.suite);
       ("fault", Test_fault.suite);
+      ("chaos", Test_chaos.suite);
       ("properties", Test_properties.suite);
     ]

@@ -1,0 +1,32 @@
+(* Fixture: R6 — matching Io_fault in a handler outside the fault layer
+   (Wip_util.Retry / lib/storage). The linter is purely syntactic, so a
+   local exception of the same name stands in for Storage.Env.Io_fault. *)
+
+exception Io_fault of { op : string; file : string; retryable : bool }
+
+let swallow f =
+  try Some (f ()) with
+  | Io_fault _ -> None (* FINDING: R6 *)
+
+let classify e =
+  match e with
+  | Io_fault { retryable = true; _ } -> "transient" (* FINDING: R6 *)
+  | _ -> "other"
+
+let probe f =
+  match f () with
+  | v -> Some v
+  | exception Io_fault _ -> None (* FINDING: R6 *)
+
+let qualified f =
+  try Some (f ()) with
+  | Io_fault { retryable = false; _ } -> None (* FINDING: R6 *)
+  | _ -> None
+
+let allowed f =
+  (* lint: allow R6 — fixture: suppression must be honored and counted *)
+  try Some (f ()) with Io_fault _ -> None
+
+let raising_is_fine () =
+  (* Constructing the fault is expression syntax, not a handler. *)
+  raise (Io_fault { op = "append"; file = "x.lvt"; retryable = true })

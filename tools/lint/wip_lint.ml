@@ -18,6 +18,11 @@
          any other direct syscall would move bytes the Io_stats
          write-amplification accounting never sees.
      R5  no printing to stdout from lib/.
+     R6  matching Env.Io_fault in a handler is only legal inside
+         Wip_util.Retry and lib/storage — everywhere else a swallowed
+         fault would skip retry accounting and the Healthy→Degraded
+         transition; upper layers catch generically and consult the
+         Env.io_fault_detail / io_fault_retryable classifiers.
 
    Suppressions:
      (* lint: allow R3 — reason *)        covers its own line and the next
@@ -44,6 +49,9 @@ let rules : (string * string) list =
             every byte (clock functions are allowlisted)");
     ("R5", "lib/ must not write to stdout — return data, or print from \
             bench/bin/tools");
+    ("R6", "only Wip_util.Retry and lib/storage may match Env.Io_fault — \
+            catch generically and use Env.io_fault_detail / \
+            io_fault_retryable so retries and degradation stay accounted");
     ("R0", "suppression hygiene");
   ]
 
@@ -250,6 +258,21 @@ let check_expr ~ctx ~file ~in_storage ~bound (e : Parsetree.expression) =
       (Printf.sprintf "polymorphic %s applied to a key value" (path_of txt))
   | _ -> ()
 
+(* R6: a pattern naming the Io_fault constructor — in a [try] handler, a
+   [match ... with exception ...] case, or any other match position — binds
+   the fault where only the retry/degradation machinery may. Construction
+   ([raise (Env.Io_fault ...)]) is expression syntax and stays legal. *)
+let check_pat ~file ~in_fault_layer (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_construct ({ txt; _ }, _)
+    when String.equal (last_of txt) "Io_fault" && not in_fault_layer ->
+    let line = p.ppat_loc.Location.loc_start.Lexing.pos_lnum in
+    add_finding ~file ~line ~rule:"R6"
+      (Printf.sprintf
+         "handler matches %s outside Wip_util.Retry / lib/storage"
+         (path_of txt))
+  | _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
@@ -267,6 +290,7 @@ let lint_file ~report file =
     else Lib
   in
   let in_storage = contains_sub file "lib/storage/" in
+  let in_fault_layer = in_storage || contains_sub file "util/retry.ml" in
   match parse_file file with
   | exception e ->
     add_finding ~file ~line:1 ~rule:"R0"
@@ -286,6 +310,10 @@ let lint_file ~report file =
               (fun self e ->
                 check_expr ~ctx ~file ~in_storage ~bound e;
                 Ast_iterator.default_iterator.expr self e);
+            pat =
+              (fun self p ->
+                check_pat ~file ~in_fault_layer p;
+                Ast_iterator.default_iterator.pat self p);
           }
         in
         it.structure_item it item)
