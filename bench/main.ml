@@ -28,6 +28,8 @@ let experiments =
       Readpath.run ~ops);
     ("stall", "admission control on vs off: latency, stalls, pressure bound",
      fun ~ops -> Stall.run ~ops);
+    ("server", "network service layer: group commit on vs off over loopback",
+     fun ~ops -> Server.run ~ops);
   ]
 
 let default_ops =
@@ -44,6 +46,7 @@ let default_ops =
     ("mt", 40_000);
     ("readpath", 200_000);
     ("stall", 40_000);
+    ("server", 4_000);
   ]
 
 let usage () =

@@ -7,7 +7,15 @@
      wipdb_cli scan   --db /tmp/db --lo a --hi z [--limit N]
      wipdb_cli load   --db /tmp/db --ops 100000 [--dist uniform|zipfian|...]
      wipdb_cli stats  --db /tmp/db
-     wipdb_cli compact --db /tmp/db *)
+     wipdb_cli compact --db /tmp/db
+
+   plus the service layer: `serve` exposes a sharded store over the
+   binary wire protocol, and `client` speaks it from the command line:
+
+     wipdb_cli serve  --db /tmp/db --addr 127.0.0.1 --port 7070 --shards 4
+     wipdb_cli client get   --port 7070 key
+     wipdb_cli client put   --port 7070 key value
+     wipdb_cli client bench --port 7070 --ops 100000 *)
 
 open Cmdliner
 
@@ -263,6 +271,226 @@ let bench_cmd =
           readrandom readseq seekrandom deleterandom)")
     Term.(ret (const run $ ops $ vsize $ names))
 
+(* --- service layer ----------------------------------------------------- *)
+
+module Server = Wip_server.Server
+module Net_client = Wip_server.Client
+module Sharded = Wip_concurrent.Sharded_store.Make (Wipdb.Store)
+
+let serve_cmd =
+  let run dir addr port shards workers no_group_commit =
+    let env = Wip_storage.Env.posix ~root:dir in
+    let base =
+      {
+        Wipdb.Config.default with
+        Wipdb.Config.name = "wipdb";
+        (* The pool compacts; the serving path must not compact inline. *)
+        compaction_budget_per_batch = 0;
+      }
+    in
+    let bounds = Wipdb.Config.shard_boundaries base ~shards in
+    let stores =
+      List.mapi
+        (fun i lo ->
+          (* "wipdb.shard-N", not "wipdb-shard-N": orphan GC reclaims
+             unreferenced "<name>-*.lvt" files, so no shard's files may
+             carry another store's "<name>-" prefix. *)
+          let cfg =
+            { base with Wipdb.Config.name = Printf.sprintf "wipdb.shard-%d" i }
+          in
+          (lo, Wipdb.Store.recover ~env cfg))
+        bounds
+    in
+    let st = Sharded.create stores in
+    let ops =
+      {
+        Server.get = (fun key -> Sharded.get st key);
+        scan = (fun ~lo ~hi ~limit -> Sharded.scan st ~lo ~hi ?limit ());
+        commit = (fun batches -> Sharded.commit_batches st batches);
+        stats =
+          (fun () ->
+            [
+              ("shards", Int64.of_int (Sharded.shard_count st));
+              ("compaction_cycles",
+               Int64.of_int (Sharded.compaction_cycles st));
+              ("inflight_bytes", Int64.of_int (Sharded.inflight_bytes st));
+            ]);
+      }
+    in
+    let srv =
+      Server.start ~addr ~port ~workers ~group_commit:(not no_group_commit)
+        ~ops ()
+    in
+    Printf.printf
+      "serving %s on %s:%d (%d shards, %d workers, group commit %s)\n%!" dir
+      addr (Server.port srv) shards workers
+      (if no_group_commit then "off" else "on");
+    let stop_now = ref false in
+    let handler = Sys.Signal_handle (fun _ -> stop_now := true) in
+    Sys.set_signal Sys.sigint handler;
+    Sys.set_signal Sys.sigterm handler;
+    while not !stop_now do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    prerr_endline "shutting down";
+    Server.stop srv;
+    Sharded.stop st;
+    `Ok ()
+  in
+  let addr =
+    Arg.(value & opt string "127.0.0.1" & info [ "addr" ] ~docv:"HOST")
+  in
+  let port = Arg.(value & opt int 7070 & info [ "port" ] ~docv:"PORT") in
+  let shards =
+    let doc =
+      "Number of key-range shards (must match across restarts of the same \
+       store directory)."
+    in
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let workers = Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N") in
+  let no_gc =
+    let doc = "Commit every write alone (per-request fsync baseline)." in
+    Arg.(value & flag & info [ "no-group-commit" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a store directory over the binary wire protocol (group-commit \
+          WAL, pipelined connections); stop with SIGINT")
+    Term.(ret (const run $ db_arg $ addr $ port $ shards $ workers $ no_gc))
+
+let caddr_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "addr" ] ~docv:"HOST")
+
+let cport_arg = Arg.(value & opt int 7070 & info [ "port" ] ~docv:"PORT")
+
+let with_conn addr port f =
+  let c = Net_client.connect ~addr ~port () in
+  Fun.protect ~finally:(fun () -> Net_client.close c) (fun () -> f c)
+
+let unwrap name = function
+  | Ok v -> v
+  | Error e ->
+    Printf.eprintf "%s: %s\n" name (Net_client.error_to_string e);
+    exit 1
+
+let client_get_cmd =
+  let run addr port key =
+    with_conn addr port (fun c ->
+        match unwrap "get" (Net_client.get c key) with
+        | Some v ->
+          print_endline v;
+          `Ok ()
+        | None ->
+          prerr_endline "(not found)";
+          exit 1)
+  in
+  let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
+  Cmd.v (Cmd.info "get" ~doc:"Look up one key over the wire")
+    Term.(ret (const run $ caddr_arg $ cport_arg $ key))
+
+let client_put_cmd =
+  let run addr port key value =
+    with_conn addr port (fun c ->
+        unwrap "put" (Net_client.put c ~key ~value);
+        `Ok ())
+  in
+  let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
+  let value = Arg.(required & pos 1 (some string) None & info [] ~docv:"VALUE") in
+  Cmd.v (Cmd.info "put" ~doc:"Durable put over the wire (ack = fsynced)")
+    Term.(ret (const run $ caddr_arg $ cport_arg $ key $ value))
+
+let client_delete_cmd =
+  let run addr port key =
+    with_conn addr port (fun c ->
+        unwrap "delete" (Net_client.delete c ~key);
+        `Ok ())
+  in
+  let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
+  Cmd.v (Cmd.info "delete" ~doc:"Durable delete over the wire")
+    Term.(ret (const run $ caddr_arg $ cport_arg $ key))
+
+let client_scan_cmd =
+  let run addr port lo hi limit =
+    with_conn addr port (fun c ->
+        List.iter
+          (fun (k, v) -> Printf.printf "%s\t%s\n" k v)
+          (unwrap "scan" (Net_client.scan c ~lo ~hi ~limit ()));
+        `Ok ())
+  in
+  let lo = Arg.(value & opt string "" & info [ "lo" ] ~docv:"KEY") in
+  let hi = Arg.(value & opt string "\255" & info [ "hi" ] ~docv:"KEY") in
+  let limit = Arg.(value & opt int 100 & info [ "limit" ] ~docv:"N") in
+  Cmd.v (Cmd.info "scan" ~doc:"Range scan [lo, hi) over the wire")
+    Term.(ret (const run $ caddr_arg $ cport_arg $ lo $ hi $ limit))
+
+let client_ping_cmd =
+  let run addr port =
+    with_conn addr port (fun c ->
+        unwrap "ping" (Net_client.ping c);
+        print_endline "pong";
+        `Ok ())
+  in
+  Cmd.v (Cmd.info "ping" ~doc:"Round-trip liveness check")
+    Term.(ret (const run $ caddr_arg $ cport_arg))
+
+let client_stats_cmd =
+  let run addr port =
+    with_conn addr port (fun c ->
+        List.iter
+          (fun (k, v) -> Printf.printf "%-20s %Ld\n" k v)
+          (unwrap "stats" (Net_client.stats c));
+        `Ok ())
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Server-side counters")
+    Term.(ret (const run $ caddr_arg $ cport_arg))
+
+let client_bench_cmd =
+  let run addr port ops value_size =
+    with_conn addr port (fun c ->
+        let rng = Wip_util.Rng.create ~seed:0xC11E47L in
+        let h = Wip_stats.Histogram.create () in
+        let acked = ref 0 and errors = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to ops do
+          let key =
+            Wip_workload.Key_codec.encode
+              (Wip_util.Rng.int64 rng 1_000_000_000L)
+          in
+          let value = Bytes.to_string (Wip_util.Rng.bytes rng value_size) in
+          let s0 = Unix.gettimeofday () in
+          (match Net_client.put c ~key ~value with
+          | Ok () -> incr acked
+          | Error _ -> incr errors);
+          Wip_stats.Histogram.add h ((Unix.gettimeofday () -. s0) *. 1.0e6)
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        Printf.printf
+          "%d puts in %.2f s = %.0f ops/s  p50 %.1f us  p99 %.1f us  \
+           (acked %d, errors %d)\n"
+          ops dt
+          (float_of_int ops /. dt)
+          (Wip_stats.Histogram.percentile h 50.0)
+          (Wip_stats.Histogram.percentile h 99.0)
+          !acked !errors;
+        `Ok ())
+  in
+  let ops = Arg.(value & opt int 100_000 & info [ "ops" ] ~docv:"N") in
+  let vsize = Arg.(value & opt int 100 & info [ "value-size" ] ~docv:"BYTES") in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Synchronous durable puts against a live server; ops/s + latency")
+    Term.(ret (const run $ caddr_arg $ cport_arg $ ops $ vsize))
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a served store over the wire protocol")
+    [
+      client_get_cmd; client_put_cmd; client_delete_cmd; client_scan_cmd;
+      client_ping_cmd; client_stats_cmd; client_bench_cmd;
+    ]
+
 let () =
   let info =
     Cmd.info "wipdb_cli" ~version:"1.0.0"
@@ -273,5 +501,5 @@ let () =
        (Cmd.group info
           [
             put_cmd; get_cmd; delete_cmd; scan_cmd; load_cmd; stats_cmd;
-            compact_cmd; bench_cmd;
+            compact_cmd; bench_cmd; serve_cmd; client_cmd;
           ]))

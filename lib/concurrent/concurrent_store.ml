@@ -16,6 +16,8 @@ module Make (S : Wip_kv.Store_intf.S) = struct
 
   let try_write_batch = Sharded.try_write_batch
 
+  let commit_batches = Sharded.commit_batches
+
   let health = Sharded.health
 
   let probe = Sharded.probe

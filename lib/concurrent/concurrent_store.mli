@@ -31,6 +31,13 @@ module Make (S : Wip_kv.Store_intf.S) : sig
     (Wip_util.Ikey.kind * string * string) list ->
     (unit, Wip_kv.Store_intf.write_error) result
 
+  val commit_batches :
+    t ->
+    (Wip_util.Ikey.kind * string * string) list array ->
+    (unit, Wip_kv.Store_intf.write_error) result array
+  (** Group commit over the single shard: one WAL append + one fsync for
+      the whole window; see {!Sharded_store.Make.commit_batches}. *)
+
   val health : t -> Wip_kv.Store_intf.health
 
   val probe : t -> Wip_kv.Store_intf.health

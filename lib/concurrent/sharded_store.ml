@@ -382,6 +382,142 @@ module Make (S : Wip_kv.Store_intf.S) = struct
               apply is)
     end
 
+  (* ---------------------------------------------------------------- *)
+  (* Group commit: several independent logical batches committed as one
+     unit — per shard, one WAL append carrying one record per batch
+     (S.try_write_batches) followed by one durability barrier (S.log_sync).
+     Each batch gets its own verdict: a batch fails if any shard it touches
+     refuses admission, fails to apply, or fails to sync — an [Ok] result
+     therefore means "durable", which is what lets the server ack it. As
+     with [try_write_batch], a batch is atomic per shard, not across
+     shards. *)
+
+  let commit_batches t batches =
+    let nb = Array.length batches in
+    let results = Array.make nb (Ok ()) in
+    if nb = 0 then results
+    else begin
+      let n = Array.length t.shards in
+      (* groups.(i).(j): batch [j]'s items routed to shard [i] (reversed). *)
+      let groups = Array.make_matrix n nb [] in
+      let batch_shards = Array.make nb [] in
+      Array.iteri
+        (fun j items ->
+          List.iter
+            (fun ((_, key, _) as item) ->
+              let i = shard_index t key in
+              if groups.(i).(j) = [] then
+                batch_shards.(j) <- i :: batch_shards.(j);
+              groups.(i).(j) <- item :: groups.(i).(j))
+            items)
+        batches;
+      let touched = ref [] in
+      for i = n - 1 downto 0 do
+        if Array.exists (fun g -> g <> []) groups.(i) then begin
+          for j = 0 to nb - 1 do
+            groups.(i).(j) <- List.rev groups.(i).(j)
+          done;
+          touched := i :: !touched
+        end
+      done;
+      match !touched with
+      | [] -> results
+      | is ->
+        let shard_err = Array.make n None in
+        let shard_bytes i =
+          Array.fold_left
+            (fun acc g -> acc + batch_bytes g)
+            0 groups.(i)
+        in
+        let locks = List.map (fun i -> t.shards.(i).lock) is in
+        Sync.with_locks_ordered locks (fun () ->
+            (* Health + admission per shard, over the window's merged
+               bytes. With a single shard involved the stall-capable path
+               applies (only its own lock is held, so awaiting is safe);
+               with several locks held, fail fast like try_write_batch. *)
+            List.iter
+              (fun i ->
+                let sh = t.shards.(i) in
+                match S.health sh.store with
+                | Intf.Degraded { reason } ->
+                  shard_err.(i) <- Some (Intf.Store_degraded { reason })
+                | Intf.Healthy -> (
+                  let bytes = shard_bytes i in
+                  match is with
+                  | [ _ ] -> (
+                    match admit t i sh ~bytes with
+                    | Ok () -> ()
+                    | Error e -> shard_err.(i) <- Some e)
+                  | _ ->
+                    if t.admission then begin
+                      if S.maintenance_pending sh.store = 0 then
+                        sh.inflight <- 0;
+                      let debt =
+                        S.maintenance_pending sh.store + sh.inflight
+                      in
+                      if
+                        debt + bytes > t.stop_mark
+                        || sh.inflight + bytes > t.inflight_limit
+                      then
+                        shard_err.(i) <-
+                          Some
+                            (Intf.Backpressure { shard = i; debt_bytes = debt })
+                    end))
+              is;
+            (* A batch touching a refusing shard is out of the window. *)
+            Array.iteri
+              (fun j is_j ->
+                match
+                  List.find_map (fun i -> shard_err.(i)) is_j
+                with
+                | Some e -> results.(j) <- Error e
+                | None -> ())
+              batch_shards;
+            (* Apply: per shard, surviving batches as one commit unit. *)
+            List.iter
+              (fun i ->
+                if shard_err.(i) = None then begin
+                  let sh = t.shards.(i) in
+                  let subs = ref [] in
+                  let bytes = ref 0 in
+                  for j = nb - 1 downto 0 do
+                    if results.(j) = Ok () && groups.(i).(j) <> [] then begin
+                      subs := groups.(i).(j) :: !subs;
+                      bytes := !bytes + batch_bytes groups.(i).(j)
+                    end
+                  done;
+                  if !subs <> [] then
+                    match S.try_write_batches sh.store !subs with
+                    | Ok () -> sh.inflight <- sh.inflight + !bytes
+                    | Error e -> shard_err.(i) <- Some (retag i e)
+                end)
+              is;
+            (* Durability barrier, one per touched shard that applied
+               anything. A sync failure poisons every batch on that shard:
+               nothing un-synced may be acked. *)
+            List.iter
+              (fun i ->
+                if shard_err.(i) = None then
+                  let sh = t.shards.(i) in
+                  let applied =
+                    Array.exists2
+                      (fun r g -> r = Ok () && g <> [])
+                      results groups.(i)
+                  in
+                  if applied then
+                    try S.log_sync sh.store
+                    with Intf.Rejected e -> shard_err.(i) <- Some (retag i e))
+              is;
+            Array.iteri
+              (fun j is_j ->
+                if results.(j) = Ok () then
+                  match List.find_map (fun i -> shard_err.(i)) is_j with
+                  | Some e -> results.(j) <- Error e
+                  | None -> ())
+              batch_shards;
+            results)
+    end
+
   let write_batch t items =
     match try_write_batch t items with
     | Ok () -> ()

@@ -79,6 +79,24 @@ module Make (S : Wip_kv.Store_intf.S) : sig
   (** [write_batch] with the refusal as data; [Backpressure.shard] is the
       index of the refusing shard. *)
 
+  val commit_batches :
+    t ->
+    (Wip_util.Ikey.kind * string * string) list array ->
+    (unit, Wip_kv.Store_intf.write_error) result array
+  (** Group commit: commit several independent logical batches as one
+      window — per involved shard, a single WAL append carrying one record
+      per batch ({!Wip_kv.Store_intf.S.try_write_batches}) followed by a
+      single durability barrier ({!Wip_kv.Store_intf.S.log_sync}), so [n]
+      concurrent commits cost one fsync per touched shard instead of [n].
+      Returns one verdict per input batch, in order; [Ok] means {e durable}
+      — the batch is applied and fsynced on every shard it touches — which
+      is the invariant that lets a server acknowledge it. A batch fails
+      (typed, like {!try_write_batch}) if any shard it touches refuses
+      admission, is degraded, fails to apply, or fails to sync; other
+      batches in the window are unaffected. Locks of all involved shards
+      are taken in canonical ascending order; each batch stays atomic per
+      shard, not across shards. *)
+
   val delete : t -> key:string -> unit
   (** @raise Wip_kv.Store_intf.Rejected as for {!put}. *)
 

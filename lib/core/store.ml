@@ -804,11 +804,20 @@ let enforce_wal_threshold t =
   done
 
 (* The raw write path, before admission control and degraded-state guards
-   (both live in the "Resilient write path" section below). *)
-let write_batch_inner t items =
-  if items <> [] then begin
-    Wal.append_batch t.wal ~first_seq:(Int64.add t.seq 1L) items;
-    List.iter (fun (kind, key, value) -> apply t kind key value) items;
+   (both live in the "Resilient write path" section below). Accepts several
+   logical batches as one commit unit — a single WAL append carrying one
+   record per batch (the group-commit primitive) — the common single-batch
+   case being the one-element list. *)
+let write_batches_inner t batches =
+  let total =
+    List.fold_left (fun acc items -> acc + List.length items) 0 batches
+  in
+  if total > 0 then begin
+    Wal.append_batches t.wal ~first_seq:(Int64.add t.seq 1L) batches;
+    List.iter
+      (fun items ->
+        List.iter (fun (kind, key, value) -> apply t kind key value) items)
+      batches;
     enforce_wal_threshold t;
     (* Splits and over-limit compactions always run; eligible compactions
        draw on an allowance that accrues per batch, modeling the background
@@ -1220,17 +1229,17 @@ let admit t =
     end
   end
 
-let try_write_batch t items =
+let try_write_batches t batches =
   match t.health with
   | Intf.Degraded { reason } -> Error (Intf.Store_degraded { reason })
   | Intf.Healthy -> (
-    if items = [] then Ok ()
+    if List.for_all (fun items -> items = []) batches then Ok ()
     else
       try
         match admit t with
         | Error _ as e -> e
         | Ok () ->
-          write_batch_inner t items;
+          write_batches_inner t batches;
           Ok ()
       with e -> (
         match Env.io_fault_detail e with
@@ -1238,6 +1247,8 @@ let try_write_batch t items =
           degrade t ~reason;
           Error (Intf.Store_degraded { reason })
         | None -> raise e))
+
+let try_write_batch t items = try_write_batches t [ items ]
 
 let write_batch t items =
   match try_write_batch t items with
@@ -1266,6 +1277,11 @@ let guard_durable t f =
       | None -> raise e))
 
 let flush t = guard_durable t (fun () -> flush t)
+
+(* WAL-only durability barrier: the group-commit leader calls this once per
+   batch window after [try_write_batches]. A durable failure here must not
+   let the caller ack, hence the raising guard. *)
+let log_sync t = guard_durable t (fun () -> Wal.sync t.wal)
 
 let maintenance t ?budget_bytes () =
   guard_durable t (fun () -> maintenance t ?budget_bytes ())

@@ -44,6 +44,22 @@ module type S = sig
     (unit, write_error) result
   (** [write_batch] with the refusal as data instead of an exception. *)
 
+  val try_write_batches :
+    t -> (Wip_util.Ikey.kind * string * string) list list ->
+    (unit, write_error) result
+  (** Several logical batches as one commit unit: a single WAL append
+      carrying one record per batch, then every batch applied, all under
+      one admission decision. The group-commit engine primitive — a
+      leader calls this with the batches of every queued follower, then
+      {!log_sync} once for the lot. All-or-nothing at this level: either
+      every batch is logged and applied or none is. *)
+
+  val log_sync : t -> unit
+  (** Durability barrier on the write-ahead log only (no flush): after it
+      returns, every previously applied batch survives a crash.
+      @raise Rejected with [Store_degraded] if the sync itself fails
+      durably — callers must not ack writes when this raises. *)
+
   val health : t -> health
 
   val probe : t -> health
@@ -89,6 +105,11 @@ let put (Store ((module M), t)) ~key ~value = M.put t ~key ~value
 let write_batch (Store ((module M), t)) items = M.write_batch t items
 
 let try_write_batch (Store ((module M), t)) items = M.try_write_batch t items
+
+let try_write_batches (Store ((module M), t)) batches =
+  M.try_write_batches t batches
+
+let log_sync (Store ((module M), t)) = M.log_sync t
 
 let health (Store ((module M), t)) = M.health t
 let probe (Store ((module M), t)) = M.probe t

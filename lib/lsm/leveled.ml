@@ -590,6 +590,21 @@ let try_write_batch t items =
   write_batch t items;
   Ok ()
 
+let write_batches t batches =
+  if List.exists (fun items -> items <> []) batches then begin
+    Wal.append_batches t.wal ~first_seq:(Int64.add t.seq 1L) batches;
+    List.iter
+      (fun items ->
+        List.iter (fun (kind, key, value) -> apply t kind key value) items)
+      batches
+  end
+
+let try_write_batches t batches =
+  write_batches t batches;
+  Ok ()
+
+let log_sync t = Wal.sync t.wal
+
 let health _ = Wip_kv.Store_intf.Healthy
 
 let probe _ = Wip_kv.Store_intf.Healthy

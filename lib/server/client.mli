@@ -1,0 +1,56 @@
+(** Minimal blocking client for the WipDB wire protocol.
+
+    One socket, one request stream. The synchronous helpers ({!ping},
+    {!get}, {!put}, ...) send one frame and wait for its response. The raw
+    {!send} / {!recv} pair exposes pipelining: issue many requests without
+    waiting, then collect responses — which the server may return {e out
+    of order} — matching them up by id. A client value is not thread-safe;
+    use one per thread or domain. *)
+
+type t
+
+type error =
+  | Wire of Protocol.wire_error
+      (** the server answered with a typed refusal *)
+  | Protocol_failure of Protocol.protocol_error
+      (** the server's bytes do not parse *)
+  | Unexpected of Protocol.response
+      (** parsed, but the wrong shape for the request *)
+  | Disconnected
+
+val error_to_string : error -> string
+
+val connect : ?addr:string -> port:int -> unit -> t
+
+val close : t -> unit
+
+val send : t -> Protocol.request -> int
+(** Write one request frame; returns its id (ids ascend from 1 per
+    connection). Raises [Unix.Unix_error] if the peer is gone. *)
+
+val recv : t -> (int * Protocol.response, error) result
+(** Next response frame, whichever request it answers. *)
+
+val ping : t -> (unit, error) result
+
+val get : t -> string -> (string option, error) result
+
+val put : t -> key:string -> value:string -> (unit, error) result
+(** [Ok ()] means the server acked — the write is durable. *)
+
+val delete : t -> key:string -> (unit, error) result
+
+val write_batch :
+  t ->
+  (Wip_util.Ikey.kind * string * string) list ->
+  (unit, error) result
+
+val scan :
+  t ->
+  lo:string ->
+  hi:string ->
+  ?limit:int ->
+  unit ->
+  ((string * string) list, error) result
+
+val stats : t -> ((string * int64) list, error) result

@@ -1,0 +1,334 @@
+module Coding = Wip_util.Coding
+module Ikey = Wip_util.Ikey
+module Intf = Wip_kv.Store_intf
+
+type request =
+  | Ping
+  | Get of { key : string }
+  | Put of { key : string; value : string }
+  | Delete of { key : string }
+  | Write_batch of (Ikey.kind * string * string) list
+  | Scan of { lo : string; hi : string; limit : int option }
+  | Stats
+
+type wire_error =
+  | Backpressure of { shard : int; debt_bytes : int }
+  | Store_degraded of { reason : string }
+  | Bad_request of { message : string }
+
+type response =
+  | Ack
+  | Value of { value : string }
+  | Not_found
+  | Entries of (string * string) list
+  | Pong
+  | Stats_reply of (string * int64) list
+  | Error of wire_error
+
+type protocol_error =
+  | Truncated
+  | Oversized of { len : int }
+  | Bad_tag of { tag : int }
+  | Malformed of { detail : string }
+
+let protocol_error_to_string = function
+  | Truncated -> "truncated frame body"
+  | Oversized { len } -> Printf.sprintf "oversized frame: %d bytes" len
+  | Bad_tag { tag } -> Printf.sprintf "unknown opcode/status 0x%02x" tag
+  | Malformed { detail } -> Printf.sprintf "malformed frame: %s" detail
+
+let wire_error_to_string = function
+  | Backpressure { shard; debt_bytes } ->
+    Printf.sprintf "backpressure: shard %d holds %d debt bytes" shard
+      debt_bytes
+  | Store_degraded { reason } -> Printf.sprintf "store degraded: %s" reason
+  | Bad_request { message } -> Printf.sprintf "bad request: %s" message
+
+let max_frame_bytes = 8 * 1024 * 1024
+
+let write_error_to_wire = function
+  | Intf.Backpressure { shard; debt_bytes } -> Backpressure { shard; debt_bytes }
+  | Intf.Store_degraded { reason } -> Store_degraded { reason }
+
+(* Opcodes (requests) and statuses (responses) share one tag byte space:
+   requests below 0x80, responses at and above it. *)
+let tag_ping = 0x01
+
+let tag_get = 0x02
+
+let tag_put = 0x03
+
+let tag_delete = 0x04
+
+let tag_write_batch = 0x05
+
+let tag_scan = 0x06
+
+let tag_stats = 0x07
+
+let tag_ack = 0x80
+
+let tag_value = 0x81
+
+let tag_not_found = 0x82
+
+let tag_entries = 0x83
+
+let tag_pong = 0x84
+
+let tag_stats_reply = 0x85
+
+let tag_error = 0xff
+
+let err_backpressure = 1
+
+let err_degraded = 2
+
+let err_bad_request = 3
+
+let put_kind buf kind =
+  Buffer.add_char buf
+    (match kind with Ikey.Value -> '\001' | Ikey.Deletion -> '\000')
+
+let put_items buf items =
+  Coding.put_varint buf (List.length items);
+  List.iter
+    (fun (kind, key, value) ->
+      put_kind buf kind;
+      Coding.put_length_prefixed buf key;
+      Coding.put_length_prefixed buf value)
+    items
+
+(* [body] writes tag + payload into [buf]; the frame wrapper prepends
+   length and id. *)
+let frame ~id body =
+  let buf = Buffer.create 64 in
+  body buf;
+  let payload = Buffer.contents buf in
+  let out = Buffer.create (String.length payload + 8) in
+  Coding.put_fixed32 out (String.length payload + 4);
+  Coding.put_fixed32 out (id land 0xffffffff);
+  Buffer.add_string out payload;
+  Buffer.contents out
+
+let encode_request ~id req =
+  frame ~id (fun buf ->
+      match req with
+      | Ping -> Buffer.add_char buf (Char.chr tag_ping)
+      | Get { key } ->
+        Buffer.add_char buf (Char.chr tag_get);
+        Coding.put_length_prefixed buf key
+      | Put { key; value } ->
+        Buffer.add_char buf (Char.chr tag_put);
+        Coding.put_length_prefixed buf key;
+        Coding.put_length_prefixed buf value
+      | Delete { key } ->
+        Buffer.add_char buf (Char.chr tag_delete);
+        Coding.put_length_prefixed buf key
+      | Write_batch items ->
+        Buffer.add_char buf (Char.chr tag_write_batch);
+        put_items buf items
+      | Scan { lo; hi; limit } ->
+        Buffer.add_char buf (Char.chr tag_scan);
+        Coding.put_length_prefixed buf lo;
+        Coding.put_length_prefixed buf hi;
+        (* 0 = unlimited; a real limit is stored off by one. *)
+        Coding.put_varint buf
+          (match limit with None -> 0 | Some l -> l + 1)
+      | Stats -> Buffer.add_char buf (Char.chr tag_stats))
+
+let encode_response ~id resp =
+  frame ~id (fun buf ->
+      match resp with
+      | Ack -> Buffer.add_char buf (Char.chr tag_ack)
+      | Value { value } ->
+        Buffer.add_char buf (Char.chr tag_value);
+        Coding.put_length_prefixed buf value
+      | Not_found -> Buffer.add_char buf (Char.chr tag_not_found)
+      | Entries entries ->
+        Buffer.add_char buf (Char.chr tag_entries);
+        Coding.put_varint buf (List.length entries);
+        List.iter
+          (fun (key, value) ->
+            Coding.put_length_prefixed buf key;
+            Coding.put_length_prefixed buf value)
+          entries
+      | Pong -> Buffer.add_char buf (Char.chr tag_pong)
+      | Stats_reply kvs ->
+        Buffer.add_char buf (Char.chr tag_stats_reply);
+        Coding.put_varint buf (List.length kvs);
+        List.iter
+          (fun (name, v) ->
+            Coding.put_length_prefixed buf name;
+            Coding.put_fixed64 buf v)
+          kvs
+      | Error err ->
+        Buffer.add_char buf (Char.chr tag_error);
+        (match err with
+        | Backpressure { shard; debt_bytes } ->
+          Buffer.add_char buf (Char.chr err_backpressure);
+          Coding.put_varint buf shard;
+          Coding.put_varint buf debt_bytes
+        | Store_degraded { reason } ->
+          Buffer.add_char buf (Char.chr err_degraded);
+          Coding.put_length_prefixed buf reason
+        | Bad_request { message } ->
+          Buffer.add_char buf (Char.chr err_bad_request);
+          Coding.put_length_prefixed buf message))
+
+(* ------------------------------------------------------------------ *)
+(* Decoding. Every read is over the frame body only; Coding raises
+   Invalid_argument on truncated input, which the [run] wrapper converts to
+   the typed {!Truncated}. *)
+
+type 'a decoded =
+  | Frame of { id : int; payload : 'a; next : int }
+  | Need_more
+  | Fail of protocol_error
+
+exception Bad of protocol_error
+
+let fail e = raise (Bad e)
+
+(* A body parser gets (body, off) and returns (value, off'). *)
+let get_kind body p =
+  match body.[p] with
+  | '\001' -> (Ikey.Value, p + 1)
+  | '\000' -> (Ikey.Deletion, p + 1)
+  | c -> fail (Malformed { detail = Printf.sprintf "kind byte %d" (Char.code c) })
+
+let get_items body p =
+  let count, p = Coding.get_varint body p in
+  if count < 0 || count > max_frame_bytes then
+    fail (Malformed { detail = "item count" });
+  let rec loop i p acc =
+    if i = count then (List.rev acc, p)
+    else begin
+      let kind, p = get_kind body p in
+      let key, p = Coding.get_length_prefixed body p in
+      let value, p = Coding.get_length_prefixed body p in
+      loop (i + 1) p ((kind, key, value) :: acc)
+    end
+  in
+  loop 0 p []
+
+let parse_request body p =
+  let tag = Char.code body.[p] in
+  let p = p + 1 in
+  if tag = tag_ping then (Ping, p)
+  else if tag = tag_get then begin
+    let key, p = Coding.get_length_prefixed body p in
+    (Get { key }, p)
+  end
+  else if tag = tag_put then begin
+    let key, p = Coding.get_length_prefixed body p in
+    let value, p = Coding.get_length_prefixed body p in
+    (Put { key; value }, p)
+  end
+  else if tag = tag_delete then begin
+    let key, p = Coding.get_length_prefixed body p in
+    (Delete { key }, p)
+  end
+  else if tag = tag_write_batch then begin
+    let items, p = get_items body p in
+    (Write_batch items, p)
+  end
+  else if tag = tag_scan then begin
+    let lo, p = Coding.get_length_prefixed body p in
+    let hi, p = Coding.get_length_prefixed body p in
+    let raw, p = Coding.get_varint body p in
+    let limit = if raw = 0 then None else Some (raw - 1) in
+    (Scan { lo; hi; limit }, p)
+  end
+  else if tag = tag_stats then (Stats, p)
+  else fail (Bad_tag { tag })
+
+let parse_error body p =
+  let code = Char.code body.[p] in
+  let p = p + 1 in
+  if code = err_backpressure then begin
+    let shard, p = Coding.get_varint body p in
+    let debt_bytes, p = Coding.get_varint body p in
+    (Backpressure { shard; debt_bytes }, p)
+  end
+  else if code = err_degraded then begin
+    let reason, p = Coding.get_length_prefixed body p in
+    (Store_degraded { reason }, p)
+  end
+  else if code = err_bad_request then begin
+    let message, p = Coding.get_length_prefixed body p in
+    (Bad_request { message }, p)
+  end
+  else fail (Malformed { detail = Printf.sprintf "error code %d" code })
+
+let parse_response body p =
+  let tag = Char.code body.[p] in
+  let p = p + 1 in
+  if tag = tag_ack then (Ack, p)
+  else if tag = tag_value then begin
+    let value, p = Coding.get_length_prefixed body p in
+    (Value { value }, p)
+  end
+  else if tag = tag_not_found then (Not_found, p)
+  else if tag = tag_entries then begin
+    let count, p = Coding.get_varint body p in
+    if count < 0 || count > max_frame_bytes then
+      fail (Malformed { detail = "entry count" });
+    let rec loop i p acc =
+      if i = count then (Entries (List.rev acc), p)
+      else begin
+        let key, p = Coding.get_length_prefixed body p in
+        let value, p = Coding.get_length_prefixed body p in
+        loop (i + 1) p ((key, value) :: acc)
+      end
+    in
+    loop 0 p []
+  end
+  else if tag = tag_pong then (Pong, p)
+  else if tag = tag_stats_reply then begin
+    let count, p = Coding.get_varint body p in
+    if count < 0 || count > max_frame_bytes then
+      fail (Malformed { detail = "stats count" });
+    let rec loop i p acc =
+      if i = count then (Stats_reply (List.rev acc), p)
+      else begin
+        let name, p = Coding.get_length_prefixed body p in
+        let v = Coding.get_fixed64 body p in
+        loop (i + 1) (p + 8) ((name, v) :: acc)
+      end
+    in
+    loop 0 p []
+  end
+  else if tag = tag_error then begin
+    let err, p = parse_error body p in
+    (Error err, p)
+  end
+  else fail (Bad_tag { tag })
+
+(* Shared framing: length, id, then [parse] over exactly the declared
+   body. Anything [parse] leaves unconsumed is a grammar violation. *)
+let decode parse s ~pos =
+  let n = String.length s in
+  if pos < 0 || pos > n then Fail (Malformed { detail = "bad scan offset" })
+  else if pos + 4 > n then Need_more
+  else begin
+    let len = Coding.get_fixed32 s pos in
+    if len > max_frame_bytes then Fail (Oversized { len })
+    else if len < 5 then Fail (Malformed { detail = "frame too short" })
+    else if pos + 4 + len > n then Need_more
+    else begin
+      let id = Coding.get_fixed32 s (pos + 4) in
+      let body = String.sub s (pos + 8) (len - 4) in
+      match parse body 0 with
+      | payload, p ->
+        if p <> String.length body then
+          Fail (Malformed { detail = "trailing bytes in frame" })
+        else Frame { id; payload; next = pos + 4 + len }
+      | exception Bad e -> Fail e
+      | exception Invalid_argument _ -> Fail Truncated
+    end
+  end
+
+let decode_request s ~pos = decode parse_request s ~pos
+
+let decode_response s ~pos = decode parse_response s ~pos

@@ -1,0 +1,69 @@
+(** Multi-domain socket server over any store front.
+
+    One acceptor thread listens; each connection gets a reader thread that
+    decodes frames and feeds a shared job queue; [workers] worker domains
+    pull jobs, execute them against the store, and write responses back
+    under a per-connection write lock. Responses carry the request id and
+    may complete {e out of order} — a slow scan occupies one worker while
+    the puts pipelined behind it on the same socket are served by the
+    others. [pipeline_depth] bounds each connection's queued-but-unanswered
+    requests; past it the reader simply stops draining the socket, which
+    is TCP backpressure all the way to the client.
+
+    Writes (put / delete / write_batch) flow through a
+    {!Group_commit} instance over the store's [commit] function, so [n]
+    concurrent commits cost one WAL append + fsync per touched shard per
+    window instead of [n]. An [Ack] therefore means {e durable}. Engine
+    refusals map onto typed wire errors: [Backpressure] and
+    [Store_degraded] travel as themselves ({!Protocol.wire_error});
+    malformed frames are answered with [Bad_request] where an id is
+    recoverable, and the connection is closed.
+
+    The store is reached through a plain record of closures ({!store_ops})
+    rather than a functor so any front — {!Wip_concurrent.Sharded_store},
+    a bare engine, a test stub — can serve. *)
+
+type store_ops = {
+  get : string -> string option;
+  scan :
+    lo:string -> hi:string -> limit:int option -> (string * string) list;
+  commit :
+    (Wip_util.Ikey.kind * string * string) list array ->
+    (unit, Wip_kv.Store_intf.write_error) result array;
+      (** group-commit window: one verdict per batch, [Ok] = durable
+          (applied and fsynced). For the sharded front this is
+          {!Wip_concurrent.Sharded_store.Make.commit_batches}. *)
+  stats : unit -> (string * int64) list;
+      (** served verbatim to [Stats] requests *)
+}
+
+type t
+
+val start :
+  ?addr:string ->
+  ?port:int ->
+  ?workers:int ->
+  ?pipeline_depth:int ->
+  ?group_commit:bool ->
+  ?max_batch_bytes:int ->
+  ?max_delay_s:float ->
+  ?stats:Wip_storage.Io_stats.t ->
+  ops:store_ops ->
+  unit ->
+  t
+(** Binds [addr] (default ["127.0.0.1"]) : [port] (default [0] =
+    ephemeral; read the bound port back with {!port}), spawns [workers]
+    (default 4) worker domains and the acceptor, and serves until
+    {!stop}. [group_commit:false] commits every write request alone —
+    the per-commit-fsync baseline. [max_batch_bytes] / [max_delay_s]
+    bound the group-commit window; [stats] receives per-window
+    group-commit counters. *)
+
+val port : t -> int
+
+val group : t -> Group_commit.t
+(** The server's group-commit instance (window/request counters). *)
+
+val stop : t -> unit
+(** Close the listening socket and every connection, drain and join
+    workers and the group-commit layer. Idempotent. *)

@@ -42,6 +42,9 @@ type t = {
   mutable bloom_negatives : int; (* probes answered "definitely absent" *)
   mutable bloom_fps : int; (* maybe-answers that then found nothing *)
   mutable block_fetches : int; (* data-block requests (cache hits included) *)
+  mutable group_commits : int; (* group-commit windows (one fsync each) *)
+  mutable group_commit_requests : int; (* logical commits coalesced into them *)
+  mutable group_commit_ns : int; (* total window latency, submit to ack *)
 }
 
 let create () =
@@ -72,6 +75,9 @@ let create () =
     bloom_negatives = 0;
     bloom_fps = 0;
     block_fetches = 0;
+    group_commits = 0;
+    group_commit_requests = 0;
+    group_commit_ns = 0;
   }
 
 let locked t f = Sync.with_lock t.lock f
@@ -145,6 +151,18 @@ let bloom_fp_rate t =
 let block_fetch_count t = locked t (fun () -> t.block_fetches)
 
 let record_fault t = locked t (fun () -> t.faults <- t.faults + 1)
+
+let record_group_commit t ~requests ~ns =
+  locked t (fun () ->
+      t.group_commits <- t.group_commits + 1;
+      t.group_commit_requests <- t.group_commit_requests + requests;
+      t.group_commit_ns <- t.group_commit_ns + max 0 ns)
+
+let group_commit_count t = locked t (fun () -> t.group_commits)
+
+let group_commit_request_count t = locked t (fun () -> t.group_commit_requests)
+
+let group_commit_ns t = locked t (fun () -> t.group_commit_ns)
 
 let record_stall t ~ns =
   locked t (fun () ->
@@ -259,6 +277,9 @@ let reset t =
       t.bloom_negatives <- 0;
       t.bloom_fps <- 0;
       t.block_fetches <- 0;
+      t.group_commits <- 0;
+      t.group_commit_requests <- 0;
+      t.group_commit_ns <- 0;
       Array.fill t.level_w 0 (Array.length t.level_w) 0;
       Array.fill t.level_r 0 (Array.length t.level_r) 0)
 
@@ -308,4 +329,7 @@ let diff cur base =
     bloom_negatives = cur.bloom_negatives - base.bloom_negatives;
     bloom_fps = cur.bloom_fps - base.bloom_fps;
     block_fetches = cur.block_fetches - base.block_fetches;
+    group_commits = cur.group_commits - base.group_commits;
+    group_commit_requests = cur.group_commit_requests - base.group_commit_requests;
+    group_commit_ns = cur.group_commit_ns - base.group_commit_ns;
   }

@@ -44,6 +44,12 @@ val record_degraded_transition : t -> unit
 (** Count one Healthy → Degraded edge — a store giving up on its write path
     after exhausting retries. *)
 
+val record_group_commit : t -> requests:int -> ns:int -> unit
+(** Count one group-commit window: [requests] logical commits coalesced
+    into a single WAL append + fsync, [ns] the window's latency from first
+    submit to acks (clamped at 0). Fsyncs saved by the window =
+    [requests - 1]. *)
+
 val record_bloom_probe : t -> negative:bool -> unit
 (** Count one bloom-filter consultation; [negative] when the filter ruled
     the key definitely absent. *)
@@ -79,6 +85,16 @@ val stall_ns : t -> int
 val retry_count : t -> int
 
 val degraded_transition_count : t -> int
+
+val group_commit_count : t -> int
+(** Group-commit windows committed (one fsync each). *)
+
+val group_commit_request_count : t -> int
+(** Logical commits carried by those windows; [request_count - count] is
+    the number of fsyncs group commit saved. *)
+
+val group_commit_ns : t -> int
+(** Total group-commit window latency (submit to ack), nanoseconds. *)
 
 val bytes_written : t -> int
 (** Total device bytes written, across all categories except [User_write]

@@ -25,13 +25,31 @@ let violations = Atomic.make 0
 
 let violation_count () = Atomic.get violations
 
-(* Per-domain stack of held locks, innermost first. Only maintained in
-   debug mode: with the validator off an acquisition touches no
-   domain-local state. *)
-let held : t list ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref [])
+(* Per-systhread stack of held locks, innermost first. Only maintained in
+   debug mode. Domain.DLS would be wrong here: sys-threads within a domain
+   share its DLS, so one thread's held lock would corrupt another's order
+   check the moment a critical section spans a blocking point (a socket
+   write, say). The registry is keyed by (domain, thread) under a raw
+   mutex — Sync itself is the one module allowed to hold one. *)
+let held_mu = Mutex.create ()
 
-let held_count () = List.length !(Domain.DLS.get held)
+let held_tbl : (int * int, t list ref) Hashtbl.t = Hashtbl.create 64
+
+let held_stack () =
+  let key = ((Domain.self () :> int), Thread.id (Thread.self ())) in
+  Mutex.lock held_mu;
+  let r =
+    match Hashtbl.find_opt held_tbl key with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace held_tbl key r;
+      r
+  in
+  Mutex.unlock held_mu;
+  r
+
+let held_count () = List.length !(held_stack ())
 
 let create ?(rank = rank_leaf) ?(name = "lock") () =
   { mutex = Mutex.create (); lock_rank = rank; lock_name = name }
@@ -45,7 +63,7 @@ let violate msg =
   raise (Order_violation msg)
 
 let check_order t =
-  match !(Domain.DLS.get held) with
+  match !(held_stack ()) with
   | top :: _ when t.lock_rank <= top.lock_rank ->
     violate
       (Printf.sprintf
@@ -58,14 +76,14 @@ let acquire t =
   if Atomic.get debug then begin
     check_order t;
     Mutex.lock t.mutex;
-    let stack = Domain.DLS.get held in
+    let stack = held_stack () in
     stack := t :: !stack
   end
   else Mutex.lock t.mutex
 
 let release t =
   if Atomic.get debug then begin
-    let stack = Domain.DLS.get held in
+    let stack = held_stack () in
     (* Releases must mirror acquisitions; with_lock guarantees this, so a
        mismatch means the stack was corrupted by a leaked acquisition. *)
     match !stack with
@@ -102,6 +120,34 @@ let await t ?(quantum_s = 0.0002) ~deadline pred =
     end
   in
   loop ()
+
+(* Real condition variables, tied to a Sync lock. Condition.wait atomically
+   releases the mutex and reacquires it on wakeup; in debug mode the held
+   stack must mirror that, so the lock is popped before the wait and pushed
+   back after. Waiters must already hold the lock (with_lock). *)
+module Cond = struct
+  type nonrec cond = { cv : Condition.t; lock : t }
+
+  let create lock = { cv = Condition.create (); lock }
+
+  let wait c =
+    if Atomic.get debug then begin
+      let stack = held_stack () in
+      (match !stack with
+      | top :: rest when top == c.lock -> stack := rest
+      | _ ->
+        violate
+          (Printf.sprintf "Cond.wait on %s without holding it innermost"
+             c.lock.lock_name));
+      Condition.wait c.cv c.lock.mutex;
+      stack := c.lock :: !stack
+    end
+    else Condition.wait c.cv c.lock.mutex
+
+  let signal c = Condition.signal c.cv
+
+  let broadcast c = Condition.broadcast c.cv
+end
 
 let rec check_ascending = function
   | a :: (b :: _ as rest) ->

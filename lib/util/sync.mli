@@ -18,10 +18,12 @@
       further lock. Two leaf locks must never nest.
 
     In debug mode ({!set_debug}) every acquisition is validated against a
-    per-domain stack of held locks: acquiring a rank less than or equal to
-    the highest held rank raises {!Order_violation} (before the mutex is
-    touched, so nothing leaks), and bumps {!violation_count}. Production
-    mode costs one atomic read per acquisition. *)
+    per-thread stack of held locks (keyed by domain {e and} systhread, so
+    threads sharing a domain cannot pollute each other's checks): acquiring
+    a rank less than or equal to the highest held rank raises
+    {!Order_violation} (before the mutex is touched, so nothing leaks), and
+    bumps {!violation_count}. Production mode costs one atomic read per
+    acquisition. *)
 
 type t
 
@@ -59,12 +61,33 @@ val with_locks_ordered : t list -> (unit -> 'a) -> 'a
     wait that can never park a writer forever. *)
 val await : t -> ?quantum_s:float -> deadline:float -> (unit -> bool) -> bool
 
+(** Condition variables bound to a {!t}. Unlike {!await} (a bounded
+    polling wait), these park the waiter on a real [Condition.t] — the
+    right tool when a peer is guaranteed to signal (group-commit
+    leader/follower handoff). [wait c] must be called while holding the
+    lock passed to [create] (innermost, in debug mode); it atomically
+    releases the lock, sleeps, and reacquires before returning. As with
+    stdlib conditions, wakeups may be spurious — re-check the predicate
+    in a loop. [signal]/[broadcast] need not hold the lock but usually
+    do. *)
+module Cond : sig
+  type cond
+
+  val create : t -> cond
+
+  val wait : cond -> unit
+
+  val signal : cond -> unit
+
+  val broadcast : cond -> unit
+end
+
 (** Enable / disable the per-domain acquisition-order validator. *)
 val set_debug : bool -> unit
 
 val debug_enabled : unit -> bool
 
-(** Locks currently held by the calling domain (0 unless debug mode saw
+(** Locks currently held by the calling thread (0 unless debug mode saw
     the acquisitions). Quiescent code should observe 0 — a nonzero value
     at a sync point is a leak. *)
 val held_count : unit -> int

@@ -26,6 +26,7 @@ type t = {
   mutable current : segment;
   mutable writer : Env.writer;
   mutable max_seq : int64;
+  mutable durable_seq : int64; (* max_seq as of the last sync *)
   mutable next_seg_no : int;
 }
 
@@ -50,6 +51,7 @@ let create env ?(prefix = "wal") ?(segment_bytes = 4 * 1024 * 1024) () =
         { seg_no = 0; seg_name = segment_name prefix 0; seg_bytes = 0; seg_max_seq = 0L };
       writer = Env.create_file env (segment_name prefix 0);
       max_seq = 0L;
+      durable_seq = 0L;
       next_seg_no = 1;
     }
   in
@@ -179,6 +181,7 @@ let recover env ?(prefix = "wal") ?(segment_bytes = 4 * 1024 * 1024) ~replay () 
         };
       writer = Env.create_file env (segment_name prefix next_seg_no);
       max_seq = !max_seq;
+      durable_seq = !max_seq;
       next_seg_no = next_seg_no + 1;
     }
   in
@@ -187,6 +190,9 @@ let recover env ?(prefix = "wal") ?(segment_bytes = 4 * 1024 * 1024) ~replay () 
 let roll_if_needed t =
   if t.current.seg_bytes >= t.segment_bytes then begin
     Env.sync t.writer;
+    (* The roll happens right after an append, so every logged record is in
+       the segment just synced: the whole log is durable at this point. *)
+    t.durable_seq <- t.max_seq;
     Env.close_writer t.writer;
     t.segments <- t.segments @ [ t.current ];
     let seg, writer = fresh_segment t in
@@ -194,13 +200,27 @@ let roll_if_needed t =
     t.writer <- writer
   end
 
-let append_batch t ~first_seq items =
-  if items <> [] then begin
-    let bytes = encode_batch ~first_seq items in
+(* Several logical batches, one physical append: each non-empty batch keeps
+   its own record (and so its own CRC boundary — replay after a torn tail
+   never splits a batch), but the device sees a single write. Sequence
+   numbers run consecutively across the batches, in order. *)
+let append_batches t ~first_seq batches =
+  let total_items =
+    List.fold_left (fun acc items -> acc + List.length items) 0 batches
+  in
+  if total_items > 0 then begin
+    let out = Buffer.create 512 in
+    let seq = ref first_seq in
+    List.iter
+      (fun items ->
+        if items <> [] then begin
+          Buffer.add_string out (encode_batch ~first_seq:!seq items);
+          seq := Int64.add !seq (Int64.of_int (List.length items))
+        end)
+      batches;
+    let bytes = Buffer.contents out in
     Env.append t.writer ~category:Io_stats.Wal bytes;
-    let last_seq =
-      Int64.add first_seq (Int64.of_int (List.length items - 1))
-    in
+    let last_seq = Int64.add first_seq (Int64.of_int (total_items - 1)) in
     t.current.seg_bytes <- t.current.seg_bytes + String.length bytes;
     if Int64.compare last_seq t.current.seg_max_seq > 0 then
       t.current.seg_max_seq <- last_seq;
@@ -208,7 +228,13 @@ let append_batch t ~first_seq items =
     roll_if_needed t
   end
 
-let sync t = Env.sync t.writer
+let append_batch t ~first_seq items = append_batches t ~first_seq [ items ]
+
+let sync t =
+  Env.sync t.writer;
+  t.durable_seq <- t.max_seq
+
+let durable_seq t = t.durable_seq
 
 let reclaim t ~persisted_below =
   let freed = ref 0 in

@@ -41,7 +41,27 @@ val append_batch :
 (** Atomically logs a batch whose items take sequence numbers [first_seq],
     [first_seq+1], ... in order. *)
 
+val append_batches :
+  t ->
+  first_seq:int64 ->
+  (Wip_util.Ikey.kind * string * string) list list ->
+  unit
+(** [append_batches t ~first_seq batches] logs several logical batches with
+    one physical append — the group-commit primitive. Each non-empty batch
+    becomes its own CRC-framed record (replay never tears inside a batch),
+    and sequence numbers run consecutively across the batches in list
+    order. Equivalent to appending each batch in turn, but the device sees
+    a single write. *)
+
 val sync : t -> unit
+(** Durability barrier on the current segment; advances {!durable_seq}. *)
+
+val durable_seq : t -> int64
+(** Largest sequence number known durable: [max_seq_logged] as of the last
+    {!sync} (or segment roll, which syncs). After {!recover}, everything
+    replayed is durable, so this starts at [max_seq_logged]. Appended but
+    not yet synced records sit in [durable_seq < seq <= max_seq_logged] —
+    exactly the window a crash may discard. *)
 
 val reclaim : t -> persisted_below:int64 -> int
 (** [reclaim t ~persisted_below:s] deletes every segment all of whose

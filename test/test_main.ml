@@ -25,4 +25,7 @@ let () =
       ("fault", Test_fault.suite);
       ("chaos", Test_chaos.suite);
       ("properties", Test_properties.suite);
+      ("protocol", Test_protocol.suite);
+      ("group-commit", Test_group_commit.suite);
+      ("server", Test_server.suite);
     ]

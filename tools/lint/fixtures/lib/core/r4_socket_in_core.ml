@@ -1,0 +1,17 @@
+(* Fixture: R4 — the lib/server/ socket allowance must not leak into the
+   rest of lib/: this file's path places it under lib/core/, where every
+   socket call is still a finding. *)
+
+let listen_on port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in (* FINDING: R4 *)
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)); (* FINDING: R4 *)
+  Unix.listen fd 16; (* FINDING: R4 *)
+  fd
+
+let shovel fd =
+  let buf = Bytes.create 512 in
+  let n = Unix.read fd buf 0 512 in (* FINDING: R4 *)
+  Unix.write fd buf 0 n (* FINDING: R4 *)
+
+(* Negative case: the clock allowlist still applies everywhere. *)
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,9 @@
+(* Fixture: R5 stays enforced over lib/server/ — the socket allowance for
+   R4 must not loosen the no-stdout rule for the new subsystem. *)
+
+let log_connection addr =
+  Printf.printf "accepted %s\n" addr; (* FINDING: R5 *)
+  print_endline "serving" (* FINDING: R5 *)
+
+(* Negative case: stderr diagnostics remain fine. *)
+let complain msg = prerr_endline msg

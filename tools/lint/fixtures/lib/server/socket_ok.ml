@@ -1,0 +1,22 @@
+(* Fixture: R4 negative — the socket surface is legal under lib/server/
+   (this file's path puts it there). No findings expected: network bytes
+   are not device I/O, so the Env/Io_stats accounting boundary is not
+   bypassed. *)
+
+let listen_on port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 16;
+  fd
+
+let serve_one fd =
+  let client, _ = Unix.accept fd in
+  let buf = Bytes.create 512 in
+  let n = Unix.read client buf 0 512 in
+  let _ = Unix.write client buf 0 n in
+  Unix.close client
+
+(* Still banned even here: file I/O around the engine. *)
+let side_channel path =
+  Unix.openfile path [ Unix.O_RDONLY ] 0 (* FINDING: R4 *)

@@ -14,9 +14,12 @@
      R3  bare Mutex.* / Condition.* only inside Wip_util.Sync — everything
          else goes through with_lock / with_locks_ordered, which release on
          exception and feed the lock-rank validator.
-     R4  Unix.* only under lib/storage (clock/sleep functions allowlisted):
-         any other direct syscall would move bytes the Io_stats
-         write-amplification accounting never sees.
+     R4  Unix.* only under lib/storage (clock/sleep functions allowlisted
+         everywhere). lib/server/ — the process boundary — may additionally
+         use the socket surface (socket/bind/listen/accept/connect/
+         read/write/...): network bytes are not device I/O, so they do not
+         belong in the Io_stats write-amplification accounting. Any other
+         direct syscall would move bytes that accounting never sees.
      R5  no printing to stdout from lib/.
      R6  matching Env.Io_fault in a handler is only legal inside
          Wip_util.Retry and lib/storage — everywhere else a swallowed
@@ -190,11 +193,23 @@ let unix_allowlist =
   [ "gettimeofday"; "time"; "localtime"; "gmtime"; "sleep"; "sleepf";
     "Unix_error" ]
 
+(* The socket surface lib/server/ may touch on top of [unix_allowlist].
+   Deliberately no file-I/O entries (openfile, read on paths, rename, ...):
+   the service layer talks to the network and reaches the device only
+   through the engine, so Storage.Env stays the single device boundary. *)
+let unix_server_allowlist =
+  [ "socket"; "bind"; "listen"; "accept"; "connect"; "close"; "shutdown";
+    "read"; "write"; "setsockopt"; "getsockname"; "inet_addr_of_string";
+    "inet_addr_loopback"; "ADDR_INET"; "PF_INET"; "SOCK_STREAM";
+    "SO_REUSEADDR"; "TCP_NODELAY"; "SHUTDOWN_ALL"; "ECONNRESET"; "EPIPE";
+    "EBADF"; "EINTR"; "EAGAIN"; "EWOULDBLOCK" ]
+
 let stdout_printers =
   [ "print_string"; "print_endline"; "print_newline"; "print_char";
     "print_int"; "print_float"; "print_bytes" ]
 
-let check_expr ~ctx ~file ~in_storage ~bound (e : Parsetree.expression) =
+let check_expr ~ctx ~file ~in_storage ~in_server ~bound
+    (e : Parsetree.expression) =
   let line = e.pexp_loc.Location.loc_start.Lexing.pos_lnum in
   let ident_checks lid =
     let comps = flatten lid in
@@ -208,9 +223,11 @@ let check_expr ~ctx ~file ~in_storage ~bound (e : Parsetree.expression) =
       add_finding ~file ~line ~rule:"R3"
         (Printf.sprintf "bare %s leaks the lock if the critical section \
                          raises" (path_of lid));
-    (* R4: Unix outside lib/storage, clock functions excepted. *)
+    (* R4: Unix outside lib/storage — clock functions excepted, and the
+       socket surface additionally excepted under lib/server/. *)
     if (not in_storage) && List.mem "Unix" comps
-       && not (List.mem last unix_allowlist)
+       && (not (List.mem last unix_allowlist))
+       && not (in_server && List.mem last unix_server_allowlist)
     then
       add_finding ~file ~line ~rule:"R4"
         (Printf.sprintf "direct %s bypasses Storage.Env byte accounting"
@@ -244,7 +261,8 @@ let check_expr ~ctx ~file ~in_storage ~bound (e : Parsetree.expression) =
   | Pexp_construct ({ txt; _ }, _)
     when List.mem "Unix" (flatten txt)
          && (not in_storage)
-         && not (List.mem (last_of txt) unix_allowlist) ->
+         && (not (List.mem (last_of txt) unix_allowlist))
+         && not (in_server && List.mem (last_of txt) unix_server_allowlist) ->
     add_finding ~file ~line ~rule:"R4"
       (Printf.sprintf "direct %s bypasses Storage.Env byte accounting"
          (path_of txt))
@@ -290,6 +308,7 @@ let lint_file ~report file =
     else Lib
   in
   let in_storage = contains_sub file "lib/storage/" in
+  let in_server = contains_sub file "lib/server/" in
   let in_fault_layer = in_storage || contains_sub file "util/retry.ml" in
   match parse_file file with
   | exception e ->
@@ -308,7 +327,7 @@ let lint_file ~report file =
             Ast_iterator.default_iterator with
             expr =
               (fun self e ->
-                check_expr ~ctx ~file ~in_storage ~bound e;
+                check_expr ~ctx ~file ~in_storage ~in_server ~bound e;
                 Ast_iterator.default_iterator.expr self e);
             pat =
               (fun self p ->
