@@ -30,6 +30,9 @@ let experiments =
      fun ~ops -> Stall.run ~ops);
     ("server", "network service layer: group commit on vs off over loopback",
      fun ~ops -> Server.run ~ops);
+    ("snapshot",
+     "pinned-snapshot scans under churn + version-GC reclamation",
+     fun ~ops -> Snapshot.run ~ops);
   ]
 
 let default_ops =
@@ -47,6 +50,7 @@ let default_ops =
     ("readpath", 200_000);
     ("stall", 40_000);
     ("server", 4_000);
+    ("snapshot", 20_000);
   ]
 
 let usage () =

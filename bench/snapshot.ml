@@ -1,0 +1,241 @@
+(* Snapshot benchmark: what pinned reads cost and what version GC buys.
+
+   Part one — scan stability under churn: a sharded WipDB front takes 4
+   writer domains hammering batched puts while the main domain repeatedly
+   pins a snapshot, scans a window at it twice, and releases. Reports
+   scan-at-snapshot p50/p99 and asserts the stability law the snapshot
+   machinery exists for: both drains at one pinned snapshot are identical,
+   however much landed in between.
+
+   Part two — version-GC reclamation: the same overwrite-heavy single-engine
+   run twice, once with a snapshot pinned from the start (the GC floor holds
+   every overwritten version and every retired table — "GC off") and once
+   unpinned (compaction keeps only the newest version per key). The live-byte
+   gap is what version GC reclaims; releasing the pin and compacting must
+   then hand the held bytes back.
+
+   Writes BENCH_snapshot.json (schema in EXPERIMENTS.md) so successive PRs
+   can diff scan-at-snapshot latency and reclamation mechanically. *)
+
+open Harness
+module Config = Wipdb.Config
+module Store = Wipdb.Store
+module Sh = Wip_concurrent.Sharded_store.Make (Wipdb.Store)
+module Histogram = Wip_stats.Histogram
+module Key_codec = Wip_workload.Key_codec
+module Rng = Wip_util.Rng
+module Ikey = Wip_util.Ikey
+
+let writer_domains = 4
+
+let batch_size = 16
+
+let value_size = 128
+
+let window = 2_000L
+
+let config name =
+  {
+    Config.default with
+    Config.name;
+    memtable_items = 256;
+    memtable_bytes = 16 * 1024;
+    t_sublevels = 4;
+    min_count = 2;
+    max_count = 8;
+    initial_buckets = 2;
+    initial_key_space = key_space;
+    compaction_budget_per_batch = 0;
+  }
+
+type churn_outcome = {
+  scan_p50_us : float;
+  scan_p99_us : float;
+  scans : int;
+  unstable : int;
+  written : int;
+  refused : int;
+}
+
+let churn_run ~ops =
+  let bounds = Config.shard_boundaries (config "sn") ~shards:writer_domains in
+  let stores =
+    List.mapi
+      (fun i lo -> (lo, Store.create (config (Printf.sprintf "sn-%d" i))))
+      bounds
+  in
+  let st = Sh.create ~pool_threads:2 ~idle_sleep:0.0005 stores in
+  let rng = Rng.create ~seed:0x5AA9L in
+  for _ = 1 to 5_000 / batch_size do
+    let items =
+      List.init batch_size (fun _ ->
+          ( Ikey.Value,
+            Key_codec.encode (Rng.int64 rng key_space),
+            value_of_size rng value_size ))
+    in
+    match Sh.try_write_batch st items with Ok () | Error _ -> ()
+  done;
+  let remaining = Atomic.make writer_domains in
+  let writers =
+    List.init writer_domains (fun d ->
+        Domain.spawn (fun () ->
+            let rng = Rng.create ~seed:(Int64.of_int (0xBEEF + d)) in
+            let written = ref 0 and refused = ref 0 in
+            for _ = 1 to ops / writer_domains / batch_size do
+              let items =
+                List.init batch_size (fun _ ->
+                    ( Ikey.Value,
+                      Key_codec.encode (Rng.int64 rng key_space),
+                      value_of_size rng value_size ))
+              in
+              match Sh.try_write_batch st items with
+              | Ok () -> written := !written + batch_size
+              | Error _ -> incr refused
+            done;
+            Atomic.decr remaining;
+            (!written, !refused)))
+  in
+  let h = Histogram.create () in
+  let scans = ref 0 and unstable = ref 0 in
+  while Atomic.get remaining > 0 || !scans = 0 do
+    let snap = Sh.snapshot st in
+    let a = Rng.int64 rng (Int64.sub key_space window) in
+    let lo = Key_codec.encode a and hi = Key_codec.encode (Int64.add a window) in
+    let t0 = Unix.gettimeofday () in
+    let first = Sh.scan_at st ~lo ~hi ~snapshot:snap () in
+    Histogram.add h ((Unix.gettimeofday () -. t0) *. 1.0e6);
+    (* The law under test: a pinned snapshot's view never moves, whatever
+       the four writer domains land between the two drains. *)
+    let second = Sh.scan_at st ~lo ~hi ~snapshot:snap () in
+    if first <> second then incr unstable;
+    Sh.release st snap;
+    incr scans
+  done;
+  let totals = List.map Domain.join writers in
+  Sh.stop st;
+  {
+    scan_p50_us = Histogram.percentile h 50.0;
+    scan_p99_us = Histogram.percentile h 99.0;
+    scans = !scans;
+    unstable = !unstable;
+    written = List.fold_left (fun a (w, _) -> a + w) 0 totals;
+    refused = List.fold_left (fun a (_, r) -> a + r) 0 totals;
+  }
+
+type gc_outcome = {
+  live_during : int;  (** env live bytes at the end of the overwrite run *)
+  live_after : int;  (** same, after release (if any) + final maintenance *)
+  pinned_read_ok : bool;
+}
+
+let gc_keys = 2_000
+
+let gc_key i = Key_codec.encode (Int64.of_int i)
+
+let gc_value r =
+  let tag = Printf.sprintf "r%04d-" r in
+  tag ^ String.make (value_size - String.length tag) 'x'
+
+let gc_run ~ops ~pin =
+  let env = Wip_storage.Env.in_memory () in
+  let db =
+    Store.create ~env (config (if pin then "sn-gc-off" else "sn-gc-on"))
+  in
+  for i = 0 to gc_keys - 1 do
+    Store.put db ~key:(gc_key i) ~value:(gc_value 0)
+  done;
+  Store.flush db;
+  Store.maintenance db ();
+  let snap = if pin then Some (Store.snapshot db) else None in
+  let rounds = max 2 (min 10 (ops / gc_keys)) in
+  for r = 1 to rounds do
+    for i = 0 to gc_keys - 1 do
+      Store.put db ~key:(gc_key i) ~value:(gc_value r)
+    done;
+    Store.flush db;
+    Store.maintenance db ()
+  done;
+  let live_during = Wip_storage.Env.total_live_bytes env in
+  let pinned_read_ok =
+    match snap with
+    | None -> true
+    | Some s ->
+      (* The held bytes are not dead weight: the pin still reads round 0. *)
+      let ok = ref true in
+      for i = 0 to 9 do
+        let k = gc_key (i * (gc_keys / 10)) in
+        if Store.get_at db k ~snapshot:s <> Some (gc_value 0) then ok := false
+      done;
+      Wip_kv.Store_intf.release s;
+      !ok
+  in
+  Store.maintenance db ();
+  let live_after = Wip_storage.Env.total_live_bytes env in
+  { live_during; live_after; pinned_read_ok }
+
+let run ~ops () =
+  section
+    (Printf.sprintf
+       "snapshot: scan-at-snapshot under churn (%d ops, %d writer domains) + \
+        version-GC reclamation"
+       ops writer_domains);
+  let churn = churn_run ~ops in
+  row "%-18s %10s %12s %12s %10s %10s" "" "scans" "p50 (us)" "p99 (us)"
+    "written" "refused";
+  row "%-18s %10d %12.1f %12.1f %10d %10d" "scan-at-snapshot" churn.scans
+    churn.scan_p50_us churn.scan_p99_us churn.written churn.refused;
+  row "stable snapshots: %d/%d" (churn.scans - churn.unstable) churn.scans;
+  let off = gc_run ~ops ~pin:true in
+  let on = gc_run ~ops ~pin:false in
+  let held = off.live_during - on.live_during in
+  let released = off.live_during - off.live_after in
+  row "%-18s %14s %14s" "version GC" "live during" "live after";
+  row "%-18s %14s %14s" "pinned (GC off)"
+    (human_bytes off.live_during)
+    (human_bytes off.live_after);
+  row "%-18s %14s %14s" "unpinned (GC on)"
+    (human_bytes on.live_during)
+    (human_bytes on.live_after);
+  row "held by the pin: %s; reclaimed on release: %s" (human_bytes held)
+    (human_bytes released);
+  let json = "BENCH_snapshot.json" in
+  let oc = open_out json in
+  Printf.fprintf oc
+    {|{
+  "bench": "snapshot",
+  "ops": %d,
+  "writer_domains": %d,
+  "scan_at_snapshot": {
+    "scans": %d,
+    "p50_us": %.1f,
+    "p99_us": %.1f,
+    "unstable": %d,
+    "writes_acked": %d,
+    "writes_refused": %d
+  },
+  "version_gc": {
+    "pinned_live_bytes": %d,
+    "pinned_live_bytes_after_release": %d,
+    "unpinned_live_bytes": %d,
+    "bytes_held_by_pin": %d,
+    "bytes_reclaimed_on_release": %d
+  }
+}
+|}
+    ops writer_domains churn.scans churn.scan_p50_us churn.scan_p99_us
+    churn.unstable churn.written churn.refused off.live_during off.live_after
+    on.live_during held released;
+  close_out oc;
+  row "wrote %s" json;
+  (* Self-checks: the run must demonstrate the machinery, not just time it. *)
+  if churn.scans = 0 then failwith "snapshot: reader never completed a scan";
+  if churn.unstable > 0 then
+    failwith
+      (Printf.sprintf "snapshot: %d/%d pinned scans were unstable"
+         churn.unstable churn.scans);
+  if not off.pinned_read_ok then
+    failwith "snapshot: pinned read diverged during the GC-off run";
+  if held <= 0 then
+    failwith "snapshot: a live pin held no bytes back from version GC";
+  if off.live_after >= off.live_during then
+    failwith "snapshot: releasing the pin reclaimed nothing"

@@ -28,6 +28,16 @@ module Make (S : Wip_kv.Store_intf.S) = struct
 
   let scan = Sharded.scan
 
+  type snapshot = Sharded.snapshot
+
+  let snapshot = Sharded.snapshot
+
+  let release = Sharded.release
+
+  let get_at = Sharded.get_at
+
+  let scan_at = Sharded.scan_at
+
   let flush = Sharded.flush
 
   let with_store t f = Sharded.with_shard t ~key:"" f

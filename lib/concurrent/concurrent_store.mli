@@ -48,6 +48,26 @@ module Make (S : Wip_kv.Store_intf.S) : sig
 
   val scan : t -> lo:string -> hi:string -> ?limit:int -> unit -> (string * string) list
 
+  type snapshot
+  (** A pinned snapshot of the wrapped engine; see
+      {!Sharded_store.Make.snapshot}. *)
+
+  val snapshot : t -> snapshot
+
+  val release : t -> snapshot -> unit
+  (** Idempotent. *)
+
+  val get_at : t -> string -> snapshot:snapshot -> string option
+
+  val scan_at :
+    t ->
+    lo:string ->
+    hi:string ->
+    ?limit:int ->
+    snapshot:snapshot ->
+    unit ->
+    (string * string) list
+
   val flush : t -> unit
 
   val with_store : t -> (S.t -> 'a) -> 'a

@@ -260,7 +260,7 @@ module Make (S : Wip_kv.Store_intf.S) = struct
   let retag i = function
     | Intf.Backpressure { debt_bytes; _ } ->
       Intf.Backpressure { shard = i; debt_bytes }
-    | Intf.Store_degraded _ as e -> e
+    | (Intf.Store_degraded _ | Intf.Txn_conflict _) as e -> e
 
   (* Called with [sh.lock] held: admission, then the engine's own guarded
      write path. *)
@@ -584,7 +584,71 @@ module Make (S : Wip_kv.Store_intf.S) = struct
       let seqs = List.map List.to_seq per_shard in
       let merged = Merge_iter.merge_by ~compare:String.compare seqs in
       let merged =
-        match limit with Some l -> Seq.take l merged | None -> merged
+        match limit with
+        | Some l -> Seq.take (max 0 l) merged
+        | None -> merged
+      in
+      List.of_seq merged
+    end
+
+  (* ---------------------------------------------------------------- *)
+  (* Pinned snapshots. One engine snapshot per shard, all acquired while
+     holding every shard lock in canonical ascending order, so the
+     per-shard pinned sequence numbers form one consistent cut: no write
+     can land between two shards' pins. Reads at the snapshot afterwards
+     lock shards one at a time — consistency survives the locks dropping
+     because each shard's engine pins its own sequence number (and keeps
+     retired tables readable) until release. *)
+
+  type snapshot = Intf.snapshot array (* one per shard, in shard order *)
+
+  let snapshot t =
+    let locks = Array.to_list (Array.map (fun sh -> sh.lock) t.shards) in
+    Sync.with_locks_ordered locks (fun () ->
+        Array.map (fun sh -> S.snapshot sh.store) t.shards)
+
+  let release t (snap : snapshot) =
+    (* Engine-level release is idempotent, so releasing a sharded snapshot
+       twice is harmless. One lock at a time: release never needs a
+       cross-shard cut. *)
+    Array.iteri
+      (fun i s ->
+        Sync.with_lock t.shards.(i).lock (fun () -> Intf.release s))
+      snap
+
+  let snapshot_seqs (snap : snapshot) = Array.map Intf.snapshot_seq snap
+
+  let get_at t key ~snapshot:(snap : snapshot) =
+    let i = shard_index t key in
+    locked_shard t.shards.(i) (fun s -> S.get_at s key ~snapshot:snap.(i))
+
+  let scan_at t ~lo ~hi ?limit ~snapshot:(snap : snapshot) () =
+    if String.compare lo hi >= 0 then []
+    else begin
+      let n = Array.length t.shards in
+      let i0 = shard_index t lo in
+      let rec last j =
+        if j + 1 < n && String.compare t.shards.(j + 1).lo hi < 0 then
+          last (j + 1)
+        else j
+      in
+      let i1 = last i0 in
+      (* Unlike the unsnapshotted [scan], shards are visited one at a
+         time: the pinned per-shard snapshots already fix what each shard
+         may return, so holding all the locks across the collection would
+         buy nothing. *)
+      let per_shard =
+        List.init (i1 - i0 + 1) (fun k ->
+            let i = i0 + k in
+            locked_shard t.shards.(i) (fun s ->
+                S.scan_at s ~lo ~hi ?limit ~snapshot:snap.(i) ()))
+      in
+      let seqs = List.map List.to_seq per_shard in
+      let merged = Merge_iter.merge_by ~compare:String.compare seqs in
+      let merged =
+        match limit with
+        | Some l -> Seq.take (max 0 l) merged
+        | None -> merged
       in
       List.of_seq merged
     end

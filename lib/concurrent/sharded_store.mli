@@ -116,7 +116,40 @@ module Make (S : Wip_kv.Store_intf.S) : sig
   val scan :
     t -> lo:string -> hi:string -> ?limit:int -> unit -> (string * string) list
   (** Merged across all shards overlapping [\[lo, hi)]; collected under all
-      of their locks, so the result is a consistent multi-shard cut. *)
+      of their locks, so the result is a consistent multi-shard cut. A
+      negative [limit] is clamped to 0. *)
+
+  type snapshot
+  (** A pinned multi-shard snapshot: one engine snapshot per shard, acquired
+      as a consistent cut (all shard locks held in canonical order while the
+      per-shard sequence numbers are pinned). *)
+
+  val snapshot : t -> snapshot
+  (** Pin a consistent cross-shard snapshot. Each shard's engine keeps every
+      version (and every retired table) the snapshot can see until
+      {!release}; hold snapshots briefly under write churn or space grows. *)
+
+  val release : t -> snapshot -> unit
+  (** Release every per-shard pin. Idempotent. *)
+
+  val snapshot_seqs : snapshot -> int64 array
+  (** The pinned sequence number of each shard, in shard order. *)
+
+  val get_at : t -> string -> snapshot:snapshot -> string option
+  (** {!get} as of the snapshot's cut. *)
+
+  val scan_at :
+    t ->
+    lo:string ->
+    hi:string ->
+    ?limit:int ->
+    snapshot:snapshot ->
+    unit ->
+    (string * string) list
+  (** {!scan} as of the snapshot's cut. Shards are visited one at a time
+      (no cross-shard lock hold): the pinned per-shard snapshots alone make
+      the merged result a consistent cut, however long the scan takes and
+      whatever writes or compactions land meanwhile. *)
 
   val flush : t -> unit
 

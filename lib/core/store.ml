@@ -18,6 +18,12 @@ type bucket = {
   mutable next_structure : Memtable.structure;
 }
 
+(* A table retired by compaction/split/merge while snapshots were live: the
+   file, its reader and its cached blocks stay usable until every snapshot
+   that could still be streaming it releases. [z_pinners] holds the ids of
+   the snapshots that were live at retirement time. *)
+type zombie = { z_meta : Table.meta; mutable z_pinners : int list }
+
 type t = {
   cfg : Config.t;
   env : Env.t;
@@ -37,6 +43,9 @@ type t = {
   mutable quarantined : (string * string) list;
       (* (file, detail) of tables renamed aside after corruption *)
   cache : Wip_storage.Block_cache.t option;
+  mutable next_snap_id : int;
+  live_snaps : (int, int64) Hashtbl.t; (* snapshot id -> pinned seq *)
+  zombies : (string, zombie) Hashtbl.t; (* retired-but-pinned, by file *)
 }
 
 let config t = t.cfg
@@ -48,8 +57,6 @@ let env t = t.env
 let io_stats t = Env.stats t.env
 
 let sequence t = t.seq
-
-let snapshot t = t.seq
 
 let split_count t = t.splits
 
@@ -130,6 +137,9 @@ let create ?env:env_opt cfg =
              (Wip_storage.Block_cache.create
                 ~capacity_bytes:cfg.Config.block_cache_bytes)
          else None);
+      next_snap_id = 0;
+      live_snaps = Hashtbl.create 8;
+      zombies = Hashtbl.create 8;
     }
   in
   bootstrap_buckets t;
@@ -152,17 +162,6 @@ let bucket_for t key =
   in
   bs 0 n
 
-let bucket_hi t bucket =
-  (* Exclusive upper bound: next bucket's lo, or None for the last. *)
-  let n = Array.length t.buckets in
-  let rec find i =
-    if i >= n then None
-    else if t.buckets.(i).id = bucket.id then
-      if i + 1 < n then Some t.buckets.(i + 1).lo else None
-    else find (i + 1)
-  in
-  find 0
-
 (* ------------------------------------------------------------------ *)
 (* Table plumbing *)
 
@@ -179,16 +178,80 @@ let reader_of t (meta : Table.meta) =
     Hashtbl.replace t.readers meta.Table.name r;
     r
 
-let drop_table t (meta : Table.meta) =
-  (match Hashtbl.find_opt t.readers meta.Table.name with
+let reclaim_table t name =
+  (match Hashtbl.find_opt t.readers name with
   | Some r ->
     Table.Reader.close r;
-    Hashtbl.remove t.readers meta.Table.name
+    Hashtbl.remove t.readers name
   | None -> ());
   (match t.cache with
-  | Some cache -> Wip_storage.Block_cache.evict_file cache meta.Table.name
+  | Some cache -> Wip_storage.Block_cache.evict_file cache name
   | None -> ());
-  Env.delete t.env meta.Table.name
+  Env.delete t.env name
+
+(* Retire a table the bucket directory no longer references. With no live
+   snapshot the file is reclaimed immediately; otherwise it becomes a
+   zombie pinned by every currently-live snapshot — a pinned snapshot may
+   still be lazily streaming its blocks (the store.ml drain-before-write
+   hazard this fixes), so the reader stays open and the file stays on the
+   Env until the last pinner releases. *)
+let drop_table t (meta : Table.meta) =
+  if Hashtbl.length t.live_snaps = 0 then reclaim_table t meta.Table.name
+  else begin
+    let pinners = Hashtbl.fold (fun id _ acc -> id :: acc) t.live_snaps [] in
+    Hashtbl.replace t.zombies meta.Table.name
+      { z_meta = meta; z_pinners = pinners }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pinned snapshots (§III-D sequence-number rule, end to end).
+
+   A snapshot pins a seq. Reads at that seq stay exact for the handle's
+   lifetime because (a) version GC floors at the oldest live snapshot
+   ([oldest_snapshot_seq] feeds every Merge_iter.compact site as
+   [snapshot_floor], so the newest version at-or-below the floor and every
+   version above it survive), and (b) tables retired while a snapshot is
+   live stay readable as zombies until their last pinner releases. *)
+
+let oldest_snapshot_seq t =
+  Hashtbl.fold
+    (fun _ s acc -> if Int64.compare s acc < 0 then s else acc)
+    t.live_snaps Int64.max_int
+
+let live_snapshot_count t = Hashtbl.length t.live_snaps
+
+let zombie_table_files t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.zombies []
+
+let zombie_bytes t =
+  Hashtbl.fold (fun _ z acc -> acc + z.z_meta.Table.size) t.zombies 0
+
+let release_snapshot_id t id =
+  if Hashtbl.mem t.live_snaps id then begin
+    Hashtbl.remove t.live_snaps id;
+    let dead =
+      Hashtbl.fold
+        (fun name z acc ->
+          z.z_pinners <- List.filter (fun p -> p <> id) z.z_pinners;
+          if z.z_pinners = [] then name :: acc else acc)
+        t.zombies []
+    in
+    List.iter
+      (fun name ->
+        Hashtbl.remove t.zombies name;
+        reclaim_table t name)
+      dead
+  end
+
+let snapshot t =
+  let id = t.next_snap_id in
+  t.next_snap_id <- id + 1;
+  Hashtbl.replace t.live_snaps id t.seq;
+  {
+    Intf.snap_seq = t.seq;
+    snap_id = id;
+    snap_release = (fun () -> release_snapshot_id t id);
+  }
 
 let log_add_table t bucket level (meta : Table.meta) =
   Manifest.append t.manifest
@@ -279,7 +342,8 @@ let compact_level t bucket level =
         inputs
     in
     let entries =
-      Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:false seqs
+      Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:false
+        ~snapshot_floor:(oldest_snapshot_seq t) seqs
     in
     let expected =
       List.fold_left (fun acc (m : Table.meta) -> acc + m.Table.entry_count) 0 inputs
@@ -374,7 +438,8 @@ let split_bucket t bucket =
                 table_seq t ~category:Io_stats.Split ~fill_cache:false m))
     in
     let entries =
-      Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:true seqs
+      Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:true
+        ~snapshot_floor:(oldest_snapshot_seq t) seqs
     in
     (* Cut the stream at each splitter: one output table per new bucket.
        Splitters are pre-encoded once so the per-entry comparison runs on
@@ -514,7 +579,8 @@ let merge_buckets t left right =
       [ left; right ]
   in
   let entries =
-    Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:true seqs
+    Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:true
+      ~snapshot_floor:(oldest_snapshot_seq t) seqs
   in
   let expected =
     List.fold_left
@@ -641,7 +707,8 @@ let collapse_last_level t bucket =
         inputs
     in
     let entries =
-      Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:true seqs
+      Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:true
+        ~snapshot_floor:(oldest_snapshot_seq t) seqs
     in
     let expected =
       List.fold_left
@@ -850,7 +917,7 @@ let flush t = Array.iter (fun b -> flush_bucket t b) t.buckets
 (* ------------------------------------------------------------------ *)
 (* Reads *)
 
-let get_at t key ~snapshot =
+let get_at_seq t key ~snapshot =
   let bucket = bucket_for t key in
   match Memtable.find bucket.memtable key ~snapshot with
   | Some (Ikey.Value, v) -> Some v
@@ -889,8 +956,44 @@ let get_at t key ~snapshot =
     in
     levels 0
 
-(* [get]/[scan] are defined in the resilience section below, wrapping
-   [get_at]/[scan_at] with corruption quarantine. *)
+(* Newest committed version's seq for [key] — across the owning bucket's
+   MemTable and every level — or None when the key was never written.
+   Transaction commit validation compares this against the transaction's
+   snapshot seq; it is robust to version GC because the newest version of a
+   key always survives compaction. *)
+let newest_seq t key =
+  let bucket = bucket_for t key in
+  match Memtable.find_with_seq bucket.memtable key ~snapshot:Ikey.max_seq with
+  | Some (_, _, seq) -> Some seq
+  | None ->
+    let target = Ikey.encode_seek key ~seq:Ikey.max_seq in
+    let rec levels level =
+      if level >= t.cfg.Config.l_max then None
+      else begin
+        let rec sublevels = function
+          | [] -> levels (level + 1)
+          | (m : Table.meta) :: rest ->
+            if not (Table.overlaps m ~lo:key ~hi:key) then sublevels rest
+            else begin
+              let reader = reader_of t m in
+              if not (Table.Reader.may_contain_encoded reader target) then
+                sublevels rest
+              else
+                match
+                  Table.Reader.get_encoded reader
+                    ~category:Io_stats.Read_path ~filter_checked:true target
+                with
+                | Some (_, _, seq) -> Some seq
+                | None -> sublevels rest
+            end
+        in
+        sublevels bucket.levels.(level)
+      end
+    in
+    levels 0
+
+(* [get]/[scan]/[get_at]/[scan_at] are defined in the resilience section
+   below, wrapping the [_seq] versions with corruption quarantine. *)
 
 (* Lazy stream of visible (key, value) pairs with lo <= key < hi at the
    given snapshot — newest visible version per key, tombstones elided.
@@ -899,19 +1002,26 @@ let get_at t key ~snapshot =
    is the concatenation of per-bucket merges in bucket order; a consumer
    that stops early never touches later buckets' data blocks. Per-bucket
    state (table handles, the sorted MemTable buffer of §III-D) is captured
-   when the bucket is first reached. Readers opened here keep their file
-   contents alive on the in-memory Env even if a concurrent compaction
-   retires the table; on the POSIX Env the stream should be drained before
-   further writes. *)
+   when the bucket is first reached. A caller that must interleave the
+   stream with writes pins a {!snapshot} first: tables retired by a
+   concurrent compaction then stay readable (on every Env, POSIX included)
+   until the snapshot releases. *)
 let visible_seq t ~lo ~hi ~snapshot =
   let relevant =
+    (* The last bucket's upper bound is unbounded — no sentinel string, so
+       arbitrarily large user keys (e.g. 17+ bytes of 0xff) stay in scope. *)
     Array.to_list t.buckets
     |> List.filteri (fun i b ->
            let b_hi =
-             if i + 1 < Array.length t.buckets then t.buckets.(i + 1).lo
-             else "\255\255\255\255\255\255\255\255\255\255\255\255\255\255\255\255\255"
+             if i + 1 < Array.length t.buckets then
+               Some t.buckets.(i + 1).lo
+             else None
            in
-           String.compare b.lo hi < 0 && String.compare b_hi lo > 0)
+           String.compare b.lo hi < 0
+           &&
+           match b_hi with
+           | None -> true
+           | Some h -> String.compare h lo > 0)
   in
   (* Encoded range bounds, computed once: tables seek [from] directly and the
      take-while compares [hi_enc] against each entry's escaped-user prefix. *)
@@ -934,7 +1044,9 @@ let visible_seq t ~lo ~hi ~snapshot =
       Array.to_list b.levels
       |> List.concat_map
            (List.filter_map (fun (m : Table.meta) ->
-                if Table.overlaps m ~lo ~hi:(hi ^ "\255") then
+                (* Exclusive bound: a table whose smallest key equals [hi]
+                   holds nothing in [lo, hi) — never open or stream it. *)
+                if Table.overlaps_excl m ~lo ~hi_excl:hi then
                   Some
                     (Table.Reader.stream (reader_of t m)
                        ~category:Io_stats.Read_path ~from ()
@@ -975,11 +1087,14 @@ let visible_seq t ~lo ~hi ~snapshot =
   visible None merged
 
 let iter_range t ?snapshot ~lo ~hi () =
-  let snapshot = match snapshot with Some s -> s | None -> t.seq in
+  let snapshot =
+    match snapshot with Some s -> s.Intf.snap_seq | None -> t.seq
+  in
   visible_seq t ~lo ~hi ~snapshot
 
-let scan_at t ~lo ~hi ?(limit = max_int) ~snapshot () =
-  visible_seq t ~lo ~hi ~snapshot |> Seq.take limit |> List.of_seq
+(* Seq.take raises on a negative count; a negative limit means "nothing". *)
+let scan_at_seq t ~lo ~hi ?(limit = max_int) ~snapshot () =
+  visible_seq t ~lo ~hi ~snapshot |> Seq.take (max 0 limit) |> List.of_seq
 
 
 (* ------------------------------------------------------------------ *)
@@ -1046,6 +1161,9 @@ let recover ?env:env_opt cfg =
                (Wip_storage.Block_cache.create
                   ~capacity_bytes:cfg.Config.block_cache_bytes)
            else None);
+        next_snap_id = 0;
+        live_snaps = Hashtbl.create 8;
+        zombies = Hashtbl.create 8;
       }
     in
     stub_t := Some t;
@@ -1353,19 +1471,128 @@ let quarantine t ~file ~detail =
   !found
 
 let rec get t key =
-  try get_at t key ~snapshot:t.seq
+  try get_at_seq t key ~snapshot:t.seq
   with e -> (
     match Env.corruption_detail e with
     | Some (file, detail) when quarantine t ~file ~detail -> get t key
     | _ -> raise e)
 
 let rec scan t ~lo ~hi ?limit () =
-  try scan_at t ~lo ~hi ?limit ~snapshot:t.seq ()
+  try scan_at_seq t ~lo ~hi ?limit ~snapshot:t.seq ()
   with e -> (
     match Env.corruption_detail e with
     | Some (file, detail) when quarantine t ~file ~detail ->
       scan t ~lo ~hi ?limit ()
     | _ -> raise e)
+
+let rec get_at t key ~snapshot =
+  try get_at_seq t key ~snapshot:snapshot.Intf.snap_seq
+  with e -> (
+    match Env.corruption_detail e with
+    | Some (file, detail) when quarantine t ~file ~detail ->
+      get_at t key ~snapshot
+    | _ -> raise e)
+
+let rec scan_at t ~lo ~hi ?limit ~snapshot () =
+  try scan_at_seq t ~lo ~hi ?limit ~snapshot:snapshot.Intf.snap_seq ()
+  with e -> (
+    match Env.corruption_detail e with
+    | Some (file, detail) when quarantine t ~file ~detail ->
+      scan_at t ~lo ~hi ?limit ~snapshot ()
+    | _ -> raise e)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot-isolation transactions.
+
+   [txn_begin] pins a snapshot; reads are served from the transaction's own
+   write buffer first and otherwise at the pinned seq (recording the key in
+   the read set). Nothing touches the store until [txn_commit], which
+   first-committer-wins validates: if any key in the read or write set has a
+   committed version newer than the snapshot, the commit fails with
+   {!Intf.Txn_conflict}; otherwise the buffered writes apply atomically
+   through the normal admission-controlled batch path (so a commit can still
+   fail with [Backpressure] or [Store_degraded]). The engine is
+   single-writer under its shard lock, so validate-then-apply is atomic. *)
+
+type txn = {
+  txn_store : t;
+  txn_snap : Intf.snapshot;
+  txn_writes : (string, Ikey.kind * string) Hashtbl.t;
+  txn_reads : (string, unit) Hashtbl.t;
+  mutable txn_open : bool;
+}
+
+let txn_begin t =
+  {
+    txn_store = t;
+    txn_snap = snapshot t;
+    txn_writes = Hashtbl.create 16;
+    txn_reads = Hashtbl.create 16;
+    txn_open = true;
+  }
+
+let txn_snapshot txn = txn.txn_snap
+
+let require_open txn op =
+  if not txn.txn_open then
+    invalid_arg (Printf.sprintf "Store.%s: transaction already closed" op)
+
+let txn_get txn key =
+  require_open txn "txn_get";
+  match Hashtbl.find_opt txn.txn_writes key with
+  | Some (Ikey.Value, v) -> Some v
+  | Some (Ikey.Deletion, _) -> None
+  | None ->
+    Hashtbl.replace txn.txn_reads key ();
+    get_at txn.txn_store key ~snapshot:txn.txn_snap
+
+let txn_put txn ~key ~value =
+  require_open txn "txn_put";
+  Hashtbl.replace txn.txn_writes key (Ikey.Value, value)
+
+let txn_delete txn ~key =
+  require_open txn "txn_delete";
+  Hashtbl.replace txn.txn_writes key (Ikey.Deletion, "")
+
+let txn_close txn =
+  if txn.txn_open then begin
+    txn.txn_open <- false;
+    Intf.release txn.txn_snap
+  end
+
+let txn_abort txn = txn_close txn
+
+let txn_commit txn =
+  require_open txn "txn_commit";
+  let t = txn.txn_store in
+  let base = txn.txn_snap.Intf.snap_seq in
+  let conflicting key acc =
+    match acc with
+    | Some _ -> acc
+    | None -> (
+      match newest_seq t key with
+      | Some s when Int64.compare s base > 0 -> Some key
+      | _ -> None)
+  in
+  let conflict =
+    Hashtbl.fold (fun key _ acc -> conflicting key acc) txn.txn_writes None
+  in
+  let conflict =
+    Hashtbl.fold (fun key _ acc -> conflicting key acc) txn.txn_reads conflict
+  in
+  let result =
+    match conflict with
+    | Some key -> Error (Intf.Txn_conflict { key })
+    | None ->
+      let items =
+        Hashtbl.fold
+          (fun key (kind, value) acc -> (kind, key, value) :: acc)
+          txn.txn_writes []
+      in
+      if items = [] then Ok () else try_write_batch t items
+  in
+  txn_close txn;
+  result
 
 (* ------------------------------------------------------------------ *)
 (* Introspection *)
@@ -1407,5 +1634,3 @@ let live_table_files t =
 
 let memtable_probes t =
   Array.fold_left (fun acc b -> acc + Memtable.probes b.memtable) 0 t.buckets
-
-let _ = bucket_hi

@@ -31,16 +31,57 @@ val checkpoint : t -> unit
 
 include Wip_kv.Store_intf.S with type t := t
 
-(** {1 Snapshots} *)
+(** {1 Pinned snapshots}
 
-val snapshot : t -> int64
-(** Current sequence number; reads at this snapshot see no later writes. *)
+    [snapshot]/[get_at]/[scan_at] come from {!Wip_kv.Store_intf.S}: the
+    handle pins its seq until {!Wip_kv.Store_intf.release}. While any
+    snapshot is live, version GC floors at the oldest live snapshot's seq
+    and tables retired by compaction/split stay readable (refcounted by the
+    pinning snapshots), so a pinned lazy {!iter_range} stream keeps draining
+    correctly across concurrent writes on every Env, POSIX included. *)
 
-val get_at : t -> string -> snapshot:int64 -> string option
+val live_snapshot_count : t -> int
 
-val scan_at :
-  t -> lo:string -> hi:string -> ?limit:int -> snapshot:int64 -> unit ->
-  (string * string) list
+val oldest_snapshot_seq : t -> int64
+(** The version-GC floor: min over live snapshots, [Int64.max_int] when
+    none are live (GC then keeps only the newest version per key). *)
+
+val zombie_table_files : t -> string list
+(** Files retired from the bucket directory but still pinned by live
+    snapshots, unordered. Empty when no snapshot is live. *)
+
+val zombie_bytes : t -> int
+(** Total on-device size of {!zombie_table_files} — the space a long-lived
+    snapshot is currently holding back from reclamation. *)
+
+(** {1 Snapshot-isolation transactions}
+
+    [txn_begin] pins a snapshot; [txn_get] reads the transaction's own
+    writes first, then the snapshot (recording the key in the read set);
+    [txn_commit] validates both sets — any key with a committed version
+    newer than the snapshot aborts with
+    {!Wip_kv.Store_intf.write_error.Txn_conflict} — then applies the
+    buffered writes as one admission-controlled atomic batch. Commit and
+    abort both release the pinned snapshot; any further use of the handle
+    raises [Invalid_argument]. *)
+
+type txn
+
+val txn_begin : t -> txn
+
+val txn_get : txn -> string -> string option
+
+val txn_put : txn -> key:string -> value:string -> unit
+
+val txn_delete : txn -> key:string -> unit
+
+val txn_commit : txn -> (unit, Wip_kv.Store_intf.write_error) result
+
+val txn_abort : txn -> unit
+
+val txn_snapshot : txn -> Wip_kv.Store_intf.snapshot
+(** The transaction's pinned snapshot (e.g. for consistent side reads);
+    owned by the transaction — do not release it directly. *)
 
 (** {1 Introspection (benchmarks, tests)} *)
 
@@ -92,8 +133,10 @@ val live_table_files : t -> string list
     [iter_range] is the lazy counterpart of {!scan}: entries materialize one
     data block at a time as the sequence is consumed, so arbitrarily large
     ranges stream in bounded memory. The sequence is a consistent view at
-    the chosen (or current) snapshot. *)
+    the chosen (or current) snapshot. Pass a pinned [snapshot] when the
+    stream will be interleaved with writes: without one, a compaction
+    triggered mid-drain may retire a table the stream still needs. *)
 
 val iter_range :
-  t -> ?snapshot:int64 -> lo:string -> hi:string -> unit ->
-  (string * string) Seq.t
+  t -> ?snapshot:Wip_kv.Store_intf.snapshot -> lo:string -> hi:string ->
+  unit -> (string * string) Seq.t

@@ -51,6 +51,8 @@ type t = {
   mutable compactions : int;
   (* Guards observed from inserted keys but not yet committed to a level. *)
   pending_guards : (int, string list) Hashtbl.t;
+  mutable next_snap_id : int;
+  live_snaps : (int, int64) Hashtbl.t; (* snapshot id -> pinned seq *)
 }
 
 let manifest_name cfg = cfg.name ^ "-manifest"
@@ -70,6 +72,8 @@ let create ?env cfg =
     seq = 0L;
     compactions = 0;
     pending_guards = Hashtbl.create 8;
+    next_snap_id = 0;
+    live_snaps = Hashtbl.create 8;
   }
 
 let name t = t.cfg.name
@@ -98,6 +102,27 @@ let drop_table t (meta : Table.meta) =
     Hashtbl.remove t.readers meta.Table.name
   | None -> ());
   Env.delete t.env meta.Table.name
+
+(* Pinned snapshots. Reads in this baseline are eager (no lazy stream
+   escapes a call), so pinning only needs the version-GC floor: while a
+   snapshot is live, compaction keeps every version a pinned seq can see. *)
+
+let oldest_snapshot_seq t =
+  Hashtbl.fold
+    (fun _ s acc -> if Int64.compare s acc < 0 then s else acc)
+    t.live_snaps Int64.max_int
+
+let live_snapshot_count t = Hashtbl.length t.live_snaps
+
+let snapshot t =
+  let id = t.next_snap_id in
+  t.next_snap_id <- id + 1;
+  Hashtbl.replace t.live_snaps id t.seq;
+  {
+    Wip_kv.Store_intf.snap_seq = t.seq;
+    snap_id = id;
+    snap_release = (fun () -> Hashtbl.remove t.live_snaps id);
+  }
 
 (* Manifest edits: the [bucket] field carries the level a fragment lives in
    (0 = the unguarded L0); guards are logged as [Add_bucket { id = level;
@@ -370,7 +395,10 @@ let compact_l0 t =
       List.map (fun m -> table_seq t ~category:(Io_stats.Compaction_read 0) m) inputs
     in
     let drop = deepest_nonempty t = 0 in
-    let entries = Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:drop seqs in
+    let entries =
+      Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:drop
+        ~snapshot_floor:(oldest_snapshot_seq t) seqs
+    in
     let expected =
       List.fold_left (fun acc (m : Table.meta) -> acc + m.Table.entry_count) 0 inputs
     in
@@ -391,7 +419,10 @@ let compact_span t level span =
       List.map (fun m -> table_seq t ~category:(Io_stats.Compaction_read level) m) inputs
     in
     let drop = deepest_nonempty t <= level in
-    let entries = Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:drop seqs in
+    let entries =
+      Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:drop
+        ~snapshot_floor:(oldest_snapshot_seq t) seqs
+    in
     let expected =
       List.fold_left (fun acc (m : Table.meta) -> acc + m.Table.entry_count) 0 inputs
     in
@@ -483,6 +514,8 @@ let recover ?env cfg =
         seq = 0L;
         compactions = 0;
         pending_guards = Hashtbl.create 8;
+        next_snap_id = 0;
+        live_snaps = Hashtbl.create 8;
       }
     in
     (* Place a fragment into the span of its level containing its smallest
@@ -610,8 +643,7 @@ let span_containing lvl key =
   in
   pick None lvl.spans
 
-let get t key =
-  let snapshot = t.seq in
+let get_seq t key ~snapshot =
   match Skiplist.find t.mem key ~snapshot with
   | Some (Ikey.Value, v) -> Some v
   | Some (Ikey.Deletion, _) -> None
@@ -648,8 +680,12 @@ let get t key =
     | `Deleted -> None
     | `Miss -> levels 1)
 
-let scan t ~lo ~hi ?(limit = max_int) () =
-  let snapshot = t.seq in
+let get t key = get_seq t key ~snapshot:t.seq
+
+let get_at t key ~snapshot =
+  get_seq t key ~snapshot:snapshot.Wip_kv.Store_intf.snap_seq
+
+let scan_seq t ~lo ~hi ?(limit = max_int) ~snapshot () =
   let from = Ikey.encode_seek lo ~seq:Ikey.max_seq in
   let hi_enc = Ikey.encode_user hi in
   let mem_seq =
@@ -677,7 +713,9 @@ let scan t ~lo ~hi ?(limit = max_int) () =
     in
     List.filter_map
       (fun (m : Table.meta) ->
-        if Table.overlaps m ~lo ~hi:(hi ^ "\255") then
+        (* Exclusive bound: a fragment starting exactly at [hi] holds
+           nothing in [lo, hi). *)
+        if Table.overlaps_excl m ~lo ~hi_excl:hi then
           Some
             (Table.Reader.stream (reader_of t m) ~category:Io_stats.Read_path
                ~from ()
@@ -713,6 +751,11 @@ let scan t ~lo ~hi ?(limit = max_int) () =
        merged
    with Exit -> ());
   List.rev !out
+
+let scan t ~lo ~hi ?limit () = scan_seq t ~lo ~hi ?limit ~snapshot:t.seq ()
+
+let scan_at t ~lo ~hi ?limit ~snapshot () =
+  scan_seq t ~lo ~hi ?limit ~snapshot:snapshot.Wip_kv.Store_intf.snap_seq ()
 
 let flush t = flush_mem t
 

@@ -18,6 +18,11 @@ type write_error =
           letting maintenance catch up. *)
   | Store_degraded of { reason : string }
       (** The store is in read-only {!Degraded} state. *)
+  | Txn_conflict of { key : string }
+      (** Snapshot-isolation commit validation failed: [key] — a member of
+          the transaction's read or write set — was overwritten by a commit
+          newer than the transaction's snapshot. The transaction is aborted;
+          retry from a fresh [txn_begin]. *)
 
 exception Rejected of write_error
 (** Raised by the [unit]-returning mutation entry points ([put], [delete],
@@ -29,6 +34,28 @@ let write_error_to_string = function
     Printf.sprintf "backpressure: shard %d holds %d debt bytes" shard
       debt_bytes
   | Store_degraded { reason } -> Printf.sprintf "store degraded: %s" reason
+  | Txn_conflict { key } ->
+    Printf.sprintf "transaction conflict on key %S" key
+
+(** A pinned snapshot: reads at [snap_seq] see exactly the versions that were
+    visible when the snapshot was taken, for as long as the handle is live.
+    While any snapshot is live the owning engine (a) keeps tables retired by
+    compaction/split readable until the last pinning snapshot releases, and
+    (b) floors version GC at the oldest live snapshot's seq, so no version
+    visible to a live snapshot is dropped.
+
+    The record is shared by every engine (and pinned per shard by the
+    concurrent front end) so heterogeneous engines behind {!store} expose one
+    snapshot currency. [release] is idempotent. *)
+type snapshot = {
+  snap_seq : int64;  (** the pinned sequence number *)
+  snap_id : int;  (** unique within the owning engine instance *)
+  snap_release : unit -> unit;
+}
+
+let snapshot_seq s = s.snap_seq
+
+let release s = s.snap_release ()
 
 module type S = sig
   type t
@@ -72,7 +99,22 @@ module type S = sig
   val get : t -> string -> string option
 
   val scan : t -> lo:string -> hi:string -> ?limit:int -> unit -> (string * string) list
-  (** Live entries with [lo <= key < hi], ascending, at most [limit]. *)
+  (** Live entries with [lo <= key < hi], ascending, at most [limit].
+      A negative [limit] is clamped to 0 (empty result), never an error. *)
+
+  val snapshot : t -> snapshot
+  (** Pin the current sequence number. Until {!release}, reads through the
+      handle are repeatable: version GC floors at the oldest live snapshot
+      and retired tables stay readable. Snapshots do not survive a restart. *)
+
+  val get_at : t -> string -> snapshot:snapshot -> string option
+  (** [get] at a pinned snapshot: the newest version with seq <= the
+      snapshot's seq, [None] if that version is a tombstone or absent. *)
+
+  val scan_at :
+    t -> lo:string -> hi:string -> ?limit:int -> snapshot:snapshot -> unit ->
+    (string * string) list
+  (** [scan] at a pinned snapshot. *)
 
   val flush : t -> unit
   (** Persist all memtable contents to level-0 tables. *)
@@ -118,6 +160,13 @@ let get (Store ((module M), t)) key = M.get t key
 
 let scan (Store ((module M), t)) ~lo ~hi ?limit () =
   M.scan t ~lo ~hi ?limit ()
+
+let snapshot (Store ((module M), t)) = M.snapshot t
+
+let get_at (Store ((module M), t)) key ~snapshot = M.get_at t key ~snapshot
+
+let scan_at (Store ((module M), t)) ~lo ~hi ?limit ~snapshot () =
+  M.scan_at t ~lo ~hi ?limit ~snapshot ()
 
 let flush (Store ((module M), t)) = M.flush t
 

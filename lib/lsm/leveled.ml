@@ -59,6 +59,8 @@ type t = {
   mutable seq : int64;
   mutable compact_pointer : string array; (* round-robin cursor per level *)
   mutable compactions : int;
+  mutable next_snap_id : int;
+  live_snaps : (int, int64) Hashtbl.t; (* snapshot id -> pinned seq *)
 }
 
 let manifest_name cfg = cfg.name ^ "-manifest"
@@ -77,6 +79,8 @@ let create ?env cfg =
     seq = 0L;
     compact_pointer = Array.make cfg.max_levels "";
     compactions = 0;
+    next_snap_id = 0;
+    live_snaps = Hashtbl.create 8;
   }
 
 let config t = t.cfg
@@ -107,6 +111,28 @@ let drop_table t (meta : Table.meta) =
     Hashtbl.remove t.readers meta.Table.name
   | None -> ());
   Env.delete t.env meta.Table.name
+
+(* Pinned snapshots. This baseline's reads are eager (no lazy streams
+   escape a call), so pinning only needs the version-GC floor: while a
+   snapshot is live, compaction keeps every version a pinned seq can see
+   ([oldest_snapshot_seq] feeds [Merge_iter.compact ~snapshot_floor]). *)
+
+let oldest_snapshot_seq t =
+  Hashtbl.fold
+    (fun _ s acc -> if Int64.compare s acc < 0 then s else acc)
+    t.live_snaps Int64.max_int
+
+let live_snapshot_count t = Hashtbl.length t.live_snaps
+
+let snapshot t =
+  let id = t.next_snap_id in
+  t.next_snap_id <- id + 1;
+  Hashtbl.replace t.live_snaps id t.seq;
+  {
+    Wip_kv.Store_intf.snap_seq = t.seq;
+    snap_id = id;
+    snap_release = (fun () -> Hashtbl.remove t.live_snaps id);
+  }
 
 let level_capacity t level =
   (* Level 0 is triggered by file count, not bytes. *)
@@ -176,12 +202,22 @@ let write_outputs t ~category ~expected_keys entries =
       builder := None
     | None -> ()
   in
+  let last_key = ref None in
   Seq.iter
     (fun (key, value) ->
+      (* Split lazily, and never between two versions of one user key: with
+         a version-GC floor several versions of a key can flow through one
+         compaction, and the L1+ point-read probes exactly one table per
+         level — all of a key's versions must land in it. *)
+      (match (!builder, !last_key) with
+      | Some b, Some prev
+        when Table.Builder.estimated_size b >= t.cfg.sstable_bytes
+             && not (Ikey.encoded_same_user prev key) ->
+        finish_builder ()
+      | _ -> ());
+      last_key := Some key;
       let b = match !builder with Some b -> b | None -> start_builder () in
-      Table.Builder.add_encoded b ~key ~value;
-      if Table.Builder.estimated_size b >= t.cfg.sstable_bytes then
-        finish_builder ())
+      Table.Builder.add_encoded b ~key ~value)
     entries;
   finish_builder ();
   List.rev !outputs
@@ -250,7 +286,8 @@ let compact_level t level =
     in
     let entries =
       Merge_iter.compact ~dedup_user_keys:true
-        ~drop_tombstones:(not deeper_has_data) seqs
+        ~drop_tombstones:(not deeper_has_data)
+        ~snapshot_floor:(oldest_snapshot_seq t) seqs
     in
     (* Size each output's bloom from the inputs' observed entry density:
        expected keys per output ≈ target bytes / average entry size. *)
@@ -364,6 +401,8 @@ let recover ?env cfg =
         seq = 0L;
         compact_pointer = Array.make cfg.max_levels "";
         compactions = 0;
+        next_snap_id = 0;
+        live_snaps = Hashtbl.create 8;
       }
     in
     Manifest.replay env ~name:(manifest_name cfg) (fun edit ->
@@ -440,8 +479,7 @@ let delete t ~key = write_batch t [ (Ikey.Deletion, key, "") ]
 (* ------------------------------------------------------------------ *)
 (* Reading *)
 
-let get t key =
-  let snapshot = t.seq in
+let get_seq t key ~snapshot =
   match Skiplist.find t.mem key ~snapshot with
   | Some (Ikey.Value, v) -> Some v
   | Some (Ikey.Deletion, _) -> None
@@ -478,8 +516,12 @@ let get t key =
     in
     check_l0 t.levels.(0)
 
-let scan t ~lo ~hi ?(limit = max_int) () =
-  let snapshot = t.seq in
+let get t key = get_seq t key ~snapshot:t.seq
+
+let get_at t key ~snapshot =
+  get_seq t key ~snapshot:snapshot.Wip_kv.Store_intf.snap_seq
+
+let scan_seq t ~lo ~hi ?(limit = max_int) ~snapshot () =
   let from = Ikey.encode_seek lo ~seq:Ikey.max_seq in
   let hi_enc = Ikey.encode_user hi in
   let mem_seq =
@@ -494,7 +536,9 @@ let scan t ~lo ~hi ?(limit = max_int) () =
     |> List.concat_map (fun level ->
            List.filter_map
              (fun m ->
-               if Table.overlaps m ~lo ~hi:(hi ^ "\255") then
+               (* Exclusive bound: a table starting exactly at [hi] holds
+                  nothing in [lo, hi). *)
+               if Table.overlaps_excl m ~lo ~hi_excl:hi then
                  Some
                    (Table.Reader.stream (reader_of t m)
                       ~category:Io_stats.Read_path ~from ()
@@ -531,6 +575,11 @@ let scan t ~lo ~hi ?(limit = max_int) () =
        merged
    with Exit -> ());
   List.rev !out
+
+let scan t ~lo ~hi ?limit () = scan_seq t ~lo ~hi ?limit ~snapshot:t.seq ()
+
+let scan_at t ~lo ~hi ?limit ~snapshot () =
+  scan_seq t ~lo ~hi ?limit ~snapshot:snapshot.Wip_kv.Store_intf.snap_seq ()
 
 let flush t = flush_mem t
 

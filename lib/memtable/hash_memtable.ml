@@ -100,6 +100,27 @@ let find t user_key ~snapshot =
   in
   scan (slots_per_entry - 1)
 
+let find_with_seq t user_key ~snapshot =
+  let entry = entry_of t user_key in
+  let base = entry * slots_per_entry in
+  let tag = Wip_util.Hashing.tag16 user_key in
+  let rec scan s =
+    if s < 0 then None
+    else begin
+      t.probes <- t.probes + 1;
+      if t.tags.(base + s) = 0 then scan (s - 1)
+      else if t.tags.(base + s) <> tag then scan (s - 1)
+      else
+        let item = t.items.(t.refs.(base + s)) in
+        if
+          String.equal item.ikey.Ikey.user_key user_key
+          && Int64.compare item.ikey.Ikey.seq snapshot <= 0
+        then Some (item.ikey.Ikey.kind, item.value, item.ikey.Ikey.seq)
+        else scan (s - 1)
+    end
+  in
+  scan (slots_per_entry - 1)
+
 let to_sorted_entries t =
   let arr = Array.init t.item_count (fun i -> t.items.(i)) in
   Array.sort (fun a b -> Ikey.compare a.ikey b.ikey) arr;

@@ -23,6 +23,11 @@ val try_add : t -> Wip_util.Ikey.t -> string -> bool
 
 val find : t -> string -> snapshot:int64 -> (Wip_util.Ikey.kind * string) option
 
+val find_with_seq :
+  t -> string -> snapshot:int64 ->
+  (Wip_util.Ikey.kind * string * int64) option
+(** {!find} that also reports the matched version's sequence number. *)
+
 val to_sorted_entries : t -> (Wip_util.Ikey.t * string) array
 (** Sort-on-demand: copies the arena into a fresh buffer sorted by internal
     key (the paper's one-time-use buffer for range search / flush). The

@@ -54,6 +54,11 @@ let find t user_key ~snapshot =
   | I_hash h -> Hash_memtable.find h user_key ~snapshot
   | I_sorted s -> Skiplist.find s user_key ~snapshot
 
+let find_with_seq t user_key ~snapshot =
+  match t.impl with
+  | I_hash h -> Hash_memtable.find_with_seq h user_key ~snapshot
+  | I_sorted s -> Skiplist.find_with_seq s user_key ~snapshot
+
 let sorted_entries t =
   match t.impl with
   | I_hash h -> Hash_memtable.to_sorted_entries h

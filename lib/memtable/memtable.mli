@@ -21,6 +21,12 @@ val try_add : t -> Wip_util.Ikey.t -> string -> bool
 
 val find : t -> string -> snapshot:int64 -> (Wip_util.Ikey.kind * string) option
 
+val find_with_seq :
+  t -> string -> snapshot:int64 ->
+  (Wip_util.Ikey.kind * string * int64) option
+(** {!find} that also reports the found version's sequence number — the
+    transaction layer validates commit read/write sets against it. *)
+
 val sorted_entries : t -> (Wip_util.Ikey.t * string) array
 (** For flushing and range search. Hash tables sort into a one-time buffer;
     skiplists just materialize their order. *)

@@ -96,6 +96,25 @@ let find t user_key ~snapshot =
   in
   scan before
 
+let find_with_seq t user_key ~snapshot =
+  let target = Ikey.make user_key ~seq:snapshot in
+  let before = node_before t target None in
+  let rec scan node =
+    t.probes <- t.probes + 1;
+    match node.next.(0) with
+    | None -> None
+    | Some next_node -> (
+      match next_node.ikey with
+      | None -> None
+      | Some k ->
+        if String.equal k.Ikey.user_key user_key then
+          if Int64.compare k.Ikey.seq snapshot <= 0 then
+            Some (k.Ikey.kind, next_node.value, k.Ikey.seq)
+          else scan next_node
+        else None)
+  in
+  scan before
+
 let to_sorted_seq t =
   let rec from node () =
     match node.next.(0) with

@@ -16,6 +16,11 @@ val find : t -> string -> snapshot:int64 -> (Wip_util.Ikey.kind * string) option
 (** [find t user_key ~snapshot] returns the newest version of [user_key]
     whose sequence number is [<= snapshot], if any. *)
 
+val find_with_seq :
+  t -> string -> snapshot:int64 ->
+  (Wip_util.Ikey.kind * string * int64) option
+(** {!find} that also reports the matched version's sequence number. *)
+
 val to_sorted_seq : t -> (Wip_util.Ikey.t * string) Seq.t
 (** All entries in internal-key order. *)
 

@@ -14,6 +14,7 @@ type request =
 type wire_error =
   | Backpressure of { shard : int; debt_bytes : int }
   | Store_degraded of { reason : string }
+  | Txn_conflict of { key : string }
   | Bad_request of { message : string }
 
 type response =
@@ -42,6 +43,8 @@ let wire_error_to_string = function
     Printf.sprintf "backpressure: shard %d holds %d debt bytes" shard
       debt_bytes
   | Store_degraded { reason } -> Printf.sprintf "store degraded: %s" reason
+  | Txn_conflict { key } ->
+    Printf.sprintf "transaction conflict on key %S" key
   | Bad_request { message } -> Printf.sprintf "bad request: %s" message
 
 let max_frame_bytes = 8 * 1024 * 1024
@@ -49,6 +52,7 @@ let max_frame_bytes = 8 * 1024 * 1024
 let write_error_to_wire = function
   | Intf.Backpressure { shard; debt_bytes } -> Backpressure { shard; debt_bytes }
   | Intf.Store_degraded { reason } -> Store_degraded { reason }
+  | Intf.Txn_conflict { key } -> Txn_conflict { key }
 
 (* Opcodes (requests) and statuses (responses) share one tag byte space:
    requests below 0x80, responses at and above it. *)
@@ -85,6 +89,8 @@ let err_backpressure = 1
 let err_degraded = 2
 
 let err_bad_request = 3
+
+let err_txn_conflict = 4
 
 let put_kind buf kind =
   Buffer.add_char buf
@@ -132,9 +138,14 @@ let encode_request ~id req =
         Buffer.add_char buf (Char.chr tag_scan);
         Coding.put_length_prefixed buf lo;
         Coding.put_length_prefixed buf hi;
-        (* 0 = unlimited; a real limit is stored off by one. *)
+        (* 0 = unlimited; a real limit is stored off by one. A negative
+           limit means "nothing" and is clamped to 0 entries — it must not
+           collide with the unlimited encoding or go negative on the wire. *)
         Coding.put_varint buf
-          (match limit with None -> 0 | Some l -> l + 1)
+          (match limit with
+          | None -> 0
+          | Some l when l < 0 -> 1
+          | Some l -> l + 1)
       | Stats -> Buffer.add_char buf (Char.chr tag_stats))
 
 let encode_response ~id resp =
@@ -174,7 +185,10 @@ let encode_response ~id resp =
           Coding.put_length_prefixed buf reason
         | Bad_request { message } ->
           Buffer.add_char buf (Char.chr err_bad_request);
-          Coding.put_length_prefixed buf message))
+          Coding.put_length_prefixed buf message
+        | Txn_conflict { key } ->
+          Buffer.add_char buf (Char.chr err_txn_conflict);
+          Coding.put_length_prefixed buf key))
 
 (* ------------------------------------------------------------------ *)
 (* Decoding. Every read is over the frame body only; Coding raises
@@ -237,6 +251,10 @@ let parse_request body p =
     let lo, p = Coding.get_length_prefixed body p in
     let hi, p = Coding.get_length_prefixed body p in
     let raw, p = Coding.get_varint body p in
+    (* 0 = unlimited; otherwise off-by-one. A negative raw (an overflowed
+       varint, or a client smuggling a negative limit) is a grammar
+       violation — reject it here so it can never reach Seq.take. *)
+    if raw < 0 then fail (Malformed { detail = "negative scan limit" });
     let limit = if raw = 0 then None else Some (raw - 1) in
     (Scan { lo; hi; limit }, p)
   end
@@ -258,6 +276,10 @@ let parse_error body p =
   else if code = err_bad_request then begin
     let message, p = Coding.get_length_prefixed body p in
     (Bad_request { message }, p)
+  end
+  else if code = err_txn_conflict then begin
+    let key, p = Coding.get_length_prefixed body p in
+    (Txn_conflict { key }, p)
   end
   else fail (Malformed { detail = Printf.sprintf "error code %d" code })
 

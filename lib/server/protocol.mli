@@ -35,6 +35,7 @@ type request =
 type wire_error =
   | Backpressure of { shard : int; debt_bytes : int }
   | Store_degraded of { reason : string }
+  | Txn_conflict of { key : string }
   | Bad_request of { message : string }
 
 type response =

@@ -72,6 +72,11 @@ let execute t req =
   | Protocol.Put { key; value } -> commit [ (Ikey.Value, key, value) ]
   | Protocol.Delete { key } -> commit [ (Ikey.Deletion, key, "") ]
   | Protocol.Write_batch items -> commit items
+  | Protocol.Scan { limit = Some l; _ } when l < 0 ->
+    (* Decode already rejects negative wire limits; this guards direct
+       [store_ops] callers so a bad limit yields a typed error on this
+       request instead of an exception in the worker. *)
+    Protocol.Error (Protocol.Bad_request { message = "negative scan limit" })
   | Protocol.Scan { lo; hi; limit } ->
     Protocol.Entries (t.ops.scan ~lo ~hi ~limit)
   | Protocol.Stats -> Protocol.Stats_reply (t.ops.stats ())

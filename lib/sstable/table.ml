@@ -344,3 +344,8 @@ let overlaps (m : meta) ~lo ~hi =
   m.entry_count > 0
   && String.compare m.smallest hi <= 0
   && String.compare m.largest lo >= 0
+
+let overlaps_excl (m : meta) ~lo ~hi_excl =
+  m.entry_count > 0
+  && String.compare m.smallest hi_excl < 0
+  && String.compare m.largest lo >= 0

@@ -126,3 +126,9 @@ end
 val overlaps : meta -> lo:string -> hi:string -> bool
 (** Whether the table's [smallest, largest] user-key range intersects the
     inclusive range [lo, hi]. Empty tables overlap nothing. *)
+
+val overlaps_excl : meta -> lo:string -> hi_excl:string -> bool
+(** Like {!overlaps} but with an exclusive upper bound — the natural fit for
+    scan ranges [lo, hi): a table whose smallest key equals [hi_excl] does
+    not overlap, so the read path never opens it just to discard every
+    entry. *)

@@ -442,8 +442,10 @@ let test_disk_full_during_flush () =
        match Store.try_write_batch db (batch_items b) with
        | Ok () -> acked := b
        | Error (Wip_kv.Store_intf.Store_degraded _) -> raise Exit
-       | Error (Wip_kv.Store_intf.Backpressure _) ->
-         Alcotest.fail "disk-full surfaced as backpressure"
+       | Error
+           (Wip_kv.Store_intf.Backpressure _ | Wip_kv.Store_intf.Txn_conflict _)
+         ->
+         Alcotest.fail "disk-full surfaced as a spurious refusal"
      done
    with Exit -> ());
   Alcotest.(check bool) "ran out of space before finishing" true

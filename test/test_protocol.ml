@@ -49,6 +49,7 @@ let wire_error_gen =
             Protocol.Backpressure { shard; debt_bytes })
           (int_bound 64) (int_bound 1_000_000);
         map (fun reason -> Protocol.Store_degraded { reason }) bytes_gen;
+        map (fun key -> Protocol.Txn_conflict { key }) bytes_gen;
         map (fun message -> Protocol.Bad_request { message }) bytes_gen;
       ])
 
@@ -268,15 +269,55 @@ let test_error_frames_roundtrip () =
     [
       Protocol.Backpressure { shard = 3; debt_bytes = 123_456 };
       Protocol.Store_degraded { reason = "wal: sync Io_fault" };
+      Protocol.Txn_conflict { key = "k\x00\xff" };
+      Protocol.Txn_conflict { key = "" };
       Protocol.Bad_request { message = "" };
     ];
   (* The engine-refusal mapping preserves every field. *)
+  (match
+     Protocol.write_error_to_wire
+       (Wip_kv.Store_intf.Backpressure { shard = 5; debt_bytes = 42 })
+   with
+  | Protocol.Backpressure { shard = 5; debt_bytes = 42 } -> ()
+  | _ -> Alcotest.fail "write_error_to_wire dropped fields");
   match
     Protocol.write_error_to_wire
-      (Wip_kv.Store_intf.Backpressure { shard = 5; debt_bytes = 42 })
+      (Wip_kv.Store_intf.Txn_conflict { key = "conflicted" })
   with
-  | Protocol.Backpressure { shard = 5; debt_bytes = 42 } -> ()
-  | _ -> Alcotest.fail "write_error_to_wire dropped fields"
+  | Protocol.Txn_conflict { key = "conflicted" } -> ()
+  | _ -> Alcotest.fail "write_error_to_wire dropped the conflict key"
+
+(* A scan limit that decodes to a negative OCaml int (an overflowed varint
+   — 0x40 at shift 56 lands on bit 62, the native sign bit) must be a typed
+   Malformed, never a value that could reach Seq.take; and the encoder
+   clamps a caller's negative limit to "zero entries" rather than smuggling
+   it onto the wire as something else. *)
+let test_negative_scan_limit () =
+  let scan_body =
+    let b = Buffer.create 16 in
+    Coding.put_varint b 0;
+    (* lo = "" *)
+    Coding.put_varint b 0;
+    (* hi = "" *)
+    for _ = 1 to 8 do
+      Buffer.add_char b '\x80'
+    done;
+    Buffer.add_char b '\x40';
+    Buffer.contents b
+  in
+  (match
+     Protocol.decode_request (raw_frame (body ~id:6 ~tag:0x06 scan_body)) ~pos:0
+   with
+  | Protocol.Fail (Protocol.Malformed { detail }) ->
+    Alcotest.(check string) "typed rejection" "negative scan limit" detail
+  | _ -> Alcotest.fail "negative scan limit: expected Malformed");
+  let s =
+    Protocol.encode_request ~id:1
+      (Protocol.Scan { lo = "a"; hi = "z"; limit = Some (-5) })
+  in
+  match Protocol.decode_request s ~pos:0 with
+  | Protocol.Frame { payload = Protocol.Scan { limit = Some 0; _ }; _ } -> ()
+  | _ -> Alcotest.fail "encoder did not clamp a negative limit to 0"
 
 let suite =
   [
@@ -291,4 +332,6 @@ let suite =
       test_zero_length_and_binary;
     Alcotest.test_case "error frames and refusal mapping" `Quick
       test_error_frames_roundtrip;
+    Alcotest.test_case "negative scan limit rejected and clamped" `Quick
+      test_negative_scan_limit;
   ]

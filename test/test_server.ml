@@ -222,6 +222,62 @@ let test_malformed_frame_hangs_up () =
       | _ -> Alcotest.fail "expected a Bad_request error frame");
       Unix.close fd)
 
+(* A scan frame whose limit varint decodes negative: the worker must stay
+   alive and the client gets a typed Bad_request, not a dropped socket
+   mid-request. The stream is unsynchronized afterwards, so the server
+   answers once (id 0) and hangs up — same contract as any framing error. *)
+let test_negative_scan_limit_over_wire () =
+  let scans = ref 0 in
+  let ops =
+    {
+      Server.get = (fun _ -> None);
+      scan =
+        (fun ~lo:_ ~hi:_ ~limit:_ ->
+          incr scans;
+          []);
+      commit = (fun batches -> Array.map (fun _ -> Ok ()) batches);
+      stats = (fun () -> []);
+    }
+  in
+  with_server ops (fun srv ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port srv));
+      (* Scan with lo = hi = "" and a 9-byte varint limit whose top bits land
+         on the native sign bit. *)
+      let payload = Buffer.create 16 in
+      Buffer.add_char payload '\x00';
+      Buffer.add_char payload '\x00';
+      for _ = 1 to 8 do
+        Buffer.add_char payload '\x80'
+      done;
+      Buffer.add_char payload '\x40';
+      let buf = Buffer.create 32 in
+      Wip_util.Coding.put_fixed32 buf (4 + 1 + Buffer.length payload);
+      Wip_util.Coding.put_fixed32 buf 9;
+      Buffer.add_char buf '\x06';
+      (* tag_scan *)
+      Buffer.add_buffer buf payload;
+      let frame = Buffer.contents buf in
+      let _ = Unix.write_substring fd frame 0 (String.length frame) in
+      let chunk = Bytes.create 4096 in
+      let rec drain acc =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> acc
+        | n -> drain (acc ^ Bytes.sub_string chunk 0 n)
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> acc
+      in
+      let bytes = drain "" in
+      (match Protocol.decode_response bytes ~pos:0 with
+      | Protocol.Frame
+          { id = 0; payload = Protocol.Error (Protocol.Bad_request _); next } ->
+        Alcotest.(check int) "single error frame" (String.length bytes) next
+      | _ -> Alcotest.fail "expected a Bad_request error frame");
+      Unix.close fd;
+      (* The store was never asked to scan with the poisoned limit. *)
+      Alcotest.(check int) "scan never executed" 0 !scans;
+      (* The server is still fully serviceable for the next connection. *)
+      with_client srv (fun c -> ok "ping after poison" (Client.ping c)))
+
 (* Chaos row through the full service path: clients hammer puts over the
    wire while the device dies mid-run (a permanent I/O storm). Every put
    acked on the wire before the outage must survive recovery from the
@@ -301,6 +357,8 @@ let suite =
       test_wire_error_mapping;
     Alcotest.test_case "malformed frame: typed answer, then hangup" `Quick
       test_malformed_frame_hangs_up;
+    Alcotest.test_case "negative scan limit: typed answer over the wire" `Quick
+      test_negative_scan_limit_over_wire;
     Alcotest.test_case "no acked write lost across a device outage" `Slow
       test_no_acked_write_lost_across_outage;
   ]
