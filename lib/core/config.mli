@@ -67,6 +67,20 @@ type t = {
           hanging (default 4 MiB) *)
   stall_deadline_s : float;
       (** longest a single write may be stalled (default 1 s) *)
+  sorted_view : bool;
+      (** maintain a REMIX-style sorted view per bucket so scans replay one
+          frozen merge instead of heap-merging the run set (default
+          [true]); built lazily on the first scan of a bucket with at least
+          [sorted_view_min_runs] runs, extended incrementally at flush, and
+          invalidated by compaction/split/merge/quarantine *)
+  sorted_view_min_runs : int;
+      (** run count below which a bucket scan just heap-merges (default 2:
+          any overlap benefits) *)
+  ph_index : bool;
+      (** emit a CHD perfect-hash point-index block in every table so cold
+          gets jump straight to their entry instead of binary-searching
+          restart points (default [true]); tables too large for 16-bit
+          locators ship without one and read via the fallback path *)
   name : string;
 }
 

@@ -3,6 +3,7 @@ module Env = Wip_storage.Env
 module Io_stats = Wip_storage.Io_stats
 module Table = Wip_sstable.Table
 module Merge_iter = Wip_sstable.Merge_iter
+module Sorted_view = Wip_sstable.Sorted_view
 module Memtable = Wip_memtable.Memtable
 module Wal = Wip_wal.Wal
 module Manifest = Wip_manifest.Manifest
@@ -16,6 +17,14 @@ type bucket = {
   read_counts : int array; (* per level, since last compaction of it *)
   mutable range_queries : int; (* since last flush; drives adaptivity *)
   mutable next_structure : Memtable.structure;
+  (* REMIX-style sorted view over this bucket's current run set, with the
+     exact run array it was built against (the view names runs by index).
+     Built lazily by the first scan that finds enough runs, extended
+     incrementally at flush, dropped at every other run-set mutation
+     (compaction, split, merge, collapse, quarantine). A walk in flight
+     under a pinned snapshot keeps reading its captured runs through the
+     zombie registry even after the field here is invalidated. *)
+  mutable view : (Sorted_view.t * Table.meta array) option;
 }
 
 (* A table retired by compaction/split/merge while snapshots were live: the
@@ -82,6 +91,7 @@ let make_bucket t ~id ~lo ~structure =
     read_counts = Array.make t.cfg.Config.l_max 0;
     range_queries = 0;
     next_structure = structure;
+    view = None;
   }
 
 let manifest_name cfg = cfg.Config.name ^ "-manifest"
@@ -277,6 +287,72 @@ let table_seq t ~category ?(fill_cache = true) meta =
   Table.Reader.stream (reader_of t meta) ~category ~fill_cache ()
 
 (* ------------------------------------------------------------------ *)
+(* Sorted views (REMIX-style; see Sorted_view and DESIGN.md).
+
+   The view's run streams are always scan-resistant (~fill_cache:false):
+   replaying a whole bucket must not evict the point-get working set. *)
+
+let invalidate_view bucket = bucket.view <- None
+
+let view_open_run t (runs : Table.meta array) r ~from =
+  Table.Reader.stream (reader_of t runs.(r)) ~category:Io_stats.Read_path
+    ~fill_cache:false ~from ()
+
+let bucket_tables bucket = Array.to_list bucket.levels |> List.concat
+
+(* The view of [bucket], building it on demand when the flag is on and the
+   run count is in the profitable window. Returns the pair a walk needs. *)
+let bucket_view t bucket =
+  match bucket.view with
+  | Some vr -> Some vr
+  | None ->
+    if not t.cfg.Config.sorted_view then None
+    else begin
+      let tables = bucket_tables bucket in
+      let n = List.length tables in
+      if n < t.cfg.Config.sorted_view_min_runs || n > Sorted_view.max_runs
+      then None
+      else begin
+        let runs = Array.of_list tables in
+        let started = Unix.gettimeofday () in
+        let view =
+          Sorted_view.build
+            (Array.map
+               (fun m ->
+                 table_seq t ~category:Io_stats.Read_path ~fill_cache:false m)
+               runs)
+        in
+        Io_stats.record_view_rebuild (io_stats t)
+          ~ns:(int_of_float ((Unix.gettimeofday () -. started) *. 1e9));
+        let vr = (view, runs) in
+        bucket.view <- Some vr;
+        Some vr
+      end
+    end
+
+(* Flush site: extend an existing view with the new run instead of dropping
+   it — a 2-way merge of the view's replay against the just-flushed table.
+   Buckets that are never scanned never have a view and never pay this. *)
+let view_note_flush t bucket (meta : Table.meta) =
+  match bucket.view with
+  | None -> ()
+  | Some (view, runs) ->
+    if
+      (not t.cfg.Config.sorted_view)
+      || Sorted_view.run_count view >= Sorted_view.max_runs
+    then invalidate_view bucket
+    else begin
+      let started = Unix.gettimeofday () in
+      let view' =
+        Sorted_view.add_run view ~open_run:(view_open_run t runs)
+          (table_seq t ~category:Io_stats.Read_path ~fill_cache:false meta)
+      in
+      Io_stats.record_view_rebuild (io_stats t)
+        ~ns:(int_of_float ((Unix.gettimeofday () -. started) *. 1e9));
+      bucket.view <- Some (view', Array.append runs [| meta |])
+    end
+
+(* ------------------------------------------------------------------ *)
 (* Flush (minor compaction): MemTable -> one level-0 LevelTable *)
 
 let wal_reclaim t =
@@ -307,11 +383,13 @@ let flush_bucket t bucket =
     let builder =
       Table.Builder.create t.env ~name:(fresh_table_name t)
         ~category:Io_stats.Flush ~bits_per_key:t.cfg.Config.bits_per_key
-        ~expected_keys:(Array.length entries) ()
+        ~ph_index:t.cfg.Config.ph_index ~expected_keys:(Array.length entries)
+        ()
     in
     Array.iter (fun (ik, v) -> Table.Builder.add builder ik v) entries;
     let meta = Table.Builder.finish builder in
     bucket.levels.(0) <- meta :: bucket.levels.(0);
+    view_note_flush t bucket meta;
     log_add_table t bucket 0 meta;
     (* Adaptive MemTable structure (§III-D): heavy range-query traffic since
        the last flush switches the next table to the sorted structure; quiet
@@ -351,8 +429,8 @@ let compact_level t bucket level =
     let builder =
       Table.Builder.create t.env ~name:(fresh_table_name t)
         ~category:(Io_stats.Compaction (level + 1))
-        ~bits_per_key:t.cfg.Config.bits_per_key ~expected_keys:(max 64 expected)
-        ()
+        ~bits_per_key:t.cfg.Config.bits_per_key
+        ~ph_index:t.cfg.Config.ph_index ~expected_keys:(max 64 expected) ()
     in
     Seq.iter
       (fun (key, value) -> Table.Builder.add_encoded builder ~key ~value)
@@ -366,6 +444,7 @@ let compact_level t bucket level =
     List.iter (fun m -> log_remove_table t bucket level m) inputs;
     bucket.levels.(level) <- [];
     bucket.read_counts.(level) <- 0;
+    invalidate_view bucket;
     (* The removes must be durable before the inputs vanish, or recovery
        would replay a manifest referencing deleted files. *)
     Manifest.sync t.manifest;
@@ -487,6 +566,7 @@ let split_bucket t bucket =
               Table.Builder.create t.env ~name:(fresh_table_name t)
                 ~category:Io_stats.Split
                 ~bits_per_key:t.cfg.Config.bits_per_key
+                ~ph_index:t.cfg.Config.ph_index
                 ~expected_keys:(max 64 (total_entries / List.length boundaries))
                 ()
             in
@@ -601,7 +681,7 @@ let merge_buckets t left right =
   let builder =
     Table.Builder.create t.env ~name:(fresh_table_name t)
       ~category:Io_stats.Split ~bits_per_key:t.cfg.Config.bits_per_key
-      ~expected_keys:(max 64 expected) ()
+      ~ph_index:t.cfg.Config.ph_index ~expected_keys:(max 64 expected) ()
   in
   Seq.iter
     (fun (key, value) -> Table.Builder.add_encoded builder ~key ~value)
@@ -719,7 +799,7 @@ let collapse_last_level t bucket =
       Table.Builder.create t.env ~name:(fresh_table_name t)
         ~category:(Io_stats.Compaction level)
         ~bits_per_key:t.cfg.Config.bits_per_key
-        ~expected_keys:(max 64 expected) ()
+        ~ph_index:t.cfg.Config.ph_index ~expected_keys:(max 64 expected) ()
     in
     Seq.iter
       (fun (key, value) -> Table.Builder.add_encoded builder ~key ~value)
@@ -735,6 +815,7 @@ let collapse_last_level t bucket =
     end;
     List.iter (fun m -> log_remove_table t bucket level m) inputs;
     bucket.read_counts.(level) <- 0;
+    invalidate_view bucket;
     Manifest.sync t.manifest;
     List.iter (drop_table t) inputs
   end
@@ -1041,18 +1122,34 @@ let visible_seq t ~lo ~hi ~snapshot =
       |> Seq.map (fun (ik, v) -> (Ikey.encode ik, v))
     in
     let table_seqs =
-      Array.to_list b.levels
-      |> List.concat_map
-           (List.filter_map (fun (m : Table.meta) ->
-                (* Exclusive bound: a table whose smallest key equals [hi]
-                   holds nothing in [lo, hi) — never open or stream it. *)
-                if Table.overlaps_excl m ~lo ~hi_excl:hi then
-                  Some
-                    (Table.Reader.stream (reader_of t m)
-                       ~category:Io_stats.Read_path ~from ()
-                    |> Seq.take_while (fun (k, _) ->
-                           Ikey.compare_encoded_user hi_enc k > 0))
-                else None))
+      (* Sorted view first: one selector-driven walk replaces the heap
+         merge of the whole run set. Falls through to the per-table merge
+         when the flag is off, the bucket has too few (or too many) runs,
+         or the view was just invalidated. Both paths stream with
+         ~fill_cache:false — live and snapshot scans alike are
+         scan-resistant, so a long walk cannot evict the hot-get working
+         set (PR 9 satellite). *)
+      match bucket_view t b with
+      | Some (view, runs) ->
+        [
+          Sorted_view.walk view ~from ~open_run:(view_open_run t runs)
+          |> Seq.take_while (fun (k, _) ->
+                 Ikey.compare_encoded_user hi_enc k > 0);
+        ]
+      | None ->
+        Array.to_list b.levels
+        |> List.concat_map
+             (List.filter_map (fun (m : Table.meta) ->
+                  (* Exclusive bound: a table whose smallest key equals [hi]
+                     holds nothing in [lo, hi) — never open or stream it. *)
+                  if Table.overlaps_excl m ~lo ~hi_excl:hi then
+                    Some
+                      (Table.Reader.stream (reader_of t m)
+                         ~category:Io_stats.Read_path ~fill_cache:false ~from
+                         ()
+                      |> Seq.take_while (fun (k, _) ->
+                             Ikey.compare_encoded_user hi_enc k > 0))
+                  else None))
     in
     (Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:false
        ~snapshot_floor:snapshot
@@ -1453,6 +1550,7 @@ let quarantine t ~file ~detail =
                   not (String.equal m.Table.name file))
                 tables;
             log_remove_table t b level meta;
+            invalidate_view b;
             Manifest.sync t.manifest;
             (match Hashtbl.find_opt t.readers file with
             | Some r ->

@@ -3,6 +3,7 @@ module Env = Wip_storage.Env
 module Io_stats = Wip_storage.Io_stats
 module Table = Wip_sstable.Table
 module Merge_iter = Wip_sstable.Merge_iter
+module Sorted_view = Wip_sstable.Sorted_view
 module Skiplist = Wip_memtable.Skiplist
 module Wal = Wip_wal.Wal
 module Manifest = Wip_manifest.Manifest
@@ -14,6 +15,9 @@ type config = {
   bits_decrement : int;
   max_levels : int;
   bits_per_key : int;
+  sorted_view : bool;
+  sorted_view_min_runs : int;
+  ph_index : bool;
   name : string;
 }
 
@@ -28,6 +32,9 @@ let default_config ~scale =
     bits_decrement = 2;
     max_levels = 5;
     bits_per_key = 10;
+    sorted_view = true;
+    sorted_view_min_runs = 2;
+    ph_index = true;
     name = "PebblesDB";
   }
 
@@ -53,6 +60,10 @@ type t = {
   pending_guards : (int, string list) Hashtbl.t;
   mutable next_snap_id : int;
   live_snaps : (int, int64) Hashtbl.t; (* snapshot id -> pinned seq *)
+  mutable view : (Sorted_view.t * Table.meta array) option;
+      (* Store-wide sorted view over every live fragment; None when absent
+         or invalidated. Scans build it lazily; compaction and guard-commit
+         fragment splits drop it. *)
 }
 
 let manifest_name cfg = cfg.name ^ "-manifest"
@@ -74,6 +85,7 @@ let create ?env cfg =
     pending_guards = Hashtbl.create 8;
     next_snap_id = 0;
     live_snaps = Hashtbl.create 8;
+    view = None;
   }
 
 let name t = t.cfg.name
@@ -151,6 +163,73 @@ let log_watermark t =
     (Manifest.Watermark { seq = t.seq; next_file = t.next_file })
 
 (* ------------------------------------------------------------------ *)
+(* Sorted view (REMIX-style; see Sorted_view and DESIGN.md). One view over
+   every live fragment — guards partition the key space but do not change
+   the merge: a frozen merge of all fragments replays any range. Streams
+   are scan-resistant (~fill_cache:false). *)
+
+let invalidate_view t = t.view <- None
+
+let view_open_run t (runs : Table.meta array) r ~from =
+  Table.Reader.stream (reader_of t runs.(r)) ~category:Io_stats.Read_path
+    ~fill_cache:false ~from ()
+
+let all_tables t =
+  t.l0
+  @ List.concat_map
+      (fun lvl -> List.concat_map (fun s -> s.fragments) lvl.spans)
+      (Array.to_list t.levels)
+
+let store_view t =
+  match t.view with
+  | Some vr -> Some vr
+  | None ->
+    if not t.cfg.sorted_view then None
+    else begin
+      let tables = all_tables t in
+      let n = List.length tables in
+      if n < t.cfg.sorted_view_min_runs || n > Sorted_view.max_runs then None
+      else begin
+        let runs = Array.of_list tables in
+        let started = Unix.gettimeofday () in
+        let view =
+          Sorted_view.build
+            (Array.map
+               (fun m ->
+                 Table.Reader.stream (reader_of t m)
+                   ~category:Io_stats.Read_path ~fill_cache:false ())
+               runs)
+        in
+        Io_stats.record_view_rebuild (io_stats t)
+          ~ns:(int_of_float ((Unix.gettimeofday () -. started) *. 1e9));
+        let vr = (view, runs) in
+        t.view <- Some vr;
+        Some vr
+      end
+    end
+
+(* Flush site: extend an existing view with the new L0 fragment instead of
+   dropping it. Stores that are never scanned never have a view and never
+   pay this. *)
+let view_note_flush t (meta : Table.meta) =
+  match t.view with
+  | None -> ()
+  | Some (view, runs) ->
+    if (not t.cfg.sorted_view) || Sorted_view.run_count view >= Sorted_view.max_runs
+    then invalidate_view t
+    else begin
+      let started = Unix.gettimeofday () in
+      let view' =
+        Sorted_view.add_run view ~open_run:(view_open_run t runs)
+          (Table.Reader.stream (reader_of t meta)
+             ~category:Io_stats.Read_path ~fill_cache:false ())
+      in
+      Io_stats.record_view_rebuild (io_stats t)
+        ~ns:(int_of_float ((Unix.gettimeofday () -. started) *. 1e9));
+      t.view <- Some (view', Array.append runs [| meta |])
+    end
+
+(* ------------------------------------------------------------------ *)
 (* Guard selection *)
 
 let trailing_zeros h =
@@ -193,7 +272,8 @@ let rec split_fragment t ~category (meta : Table.meta) ~at =
   let build side_name pred =
     let b =
       Table.Builder.create t.env ~name:side_name ~category:Io_stats.Split
-        ~bits_per_key:t.cfg.bits_per_key ~expected_keys:(max 64 meta.Table.entry_count) ()
+        ~bits_per_key:t.cfg.bits_per_key ~ph_index:t.cfg.ph_index
+        ~expected_keys:(max 64 meta.Table.entry_count) ()
     in
     Seq.iter
       (fun (key, value) ->
@@ -277,6 +357,7 @@ and commit_guards t level =
         lvl.spans <- place [] lvl.spans)
       fresh;
     if !split_inputs <> [] then begin
+      invalidate_view t;
       (* The split halves' edits must be durable before the straddling
          fragment they replace is deleted. *)
       Manifest.sync t.manifest;
@@ -290,7 +371,8 @@ let write_run t ~category entries ~expected =
   let name = fresh_table_name t in
   let b =
     Table.Builder.create t.env ~name ~category
-      ~bits_per_key:t.cfg.bits_per_key ~expected_keys:(max 64 expected) ()
+      ~bits_per_key:t.cfg.bits_per_key ~ph_index:t.cfg.ph_index
+      ~expected_keys:(max 64 expected) ()
   in
   Seq.iter (fun (ik, v) -> Table.Builder.add b ik v) entries;
   if Table.Builder.entry_count b > 0 then Some (Table.Builder.finish b)
@@ -307,6 +389,7 @@ let flush_mem t =
      with
     | Some meta ->
       t.l0 <- meta :: t.l0;
+      view_note_flush t meta;
       log_add_fragment t ~level:0 meta
     | None -> ());
     log_watermark t;
@@ -369,8 +452,8 @@ let emit_into_level t ~category level entries ~expected =
         | None ->
           let b' =
             Table.Builder.create t.env ~name:(fresh_table_name t) ~category
-              ~bits_per_key:t.cfg.bits_per_key ~expected_keys:(max 64 expected)
-              ()
+              ~bits_per_key:t.cfg.bits_per_key ~ph_index:t.cfg.ph_index
+              ~expected_keys:(max 64 expected) ()
           in
           builder := Some b';
           b'
@@ -404,6 +487,7 @@ let compact_l0 t =
     in
     emit_into_level t ~category:(Io_stats.Compaction 1) 1 entries ~expected;
     t.l0 <- [];
+    invalidate_view t;
     List.iter (fun m -> log_remove_fragment t ~level:0 m) inputs;
     log_watermark t;
     (* Removes durable before the input files vanish. *)
@@ -429,6 +513,7 @@ let compact_span t level span =
     emit_into_level t ~category:(Io_stats.Compaction (level + 1)) (level + 1) entries
       ~expected;
     span.fragments <- [];
+    invalidate_view t;
     List.iter (fun m -> log_remove_fragment t ~level m) inputs;
     log_watermark t;
     Manifest.sync t.manifest;
@@ -516,6 +601,7 @@ let recover ?env cfg =
         pending_guards = Hashtbl.create 8;
         next_snap_id = 0;
         live_snaps = Hashtbl.create 8;
+        view = None;
       }
     in
     (* Place a fragment into the span of its level containing its smallest
@@ -696,33 +782,26 @@ let scan_seq t ~lo ~hi ?(limit = max_int) ~snapshot () =
     |> Seq.map (fun (ik, v) -> (Ikey.encode ik, v))
   in
   let frag_seqs =
-    let spans_overlapping lvl =
-      List.filter
-        (fun span ->
-          (* span range = [guard, next_guard); cheap filter via fragments *)
-          ignore span;
-          true)
-        lvl.spans
-    in
-    let all_fragments =
-      t.l0
-      @ List.concat_map
-          (fun lvl ->
-            List.concat_map (fun s -> s.fragments) (spans_overlapping lvl))
-          (Array.to_list t.levels)
-    in
-    List.filter_map
-      (fun (m : Table.meta) ->
-        (* Exclusive bound: a fragment starting exactly at [hi] holds
-           nothing in [lo, hi). *)
-        if Table.overlaps_excl m ~lo ~hi_excl:hi then
-          Some
-            (Table.Reader.stream (reader_of t m) ~category:Io_stats.Read_path
-               ~from ()
-            |> Seq.take_while (fun (k, _) ->
-                   Ikey.compare_encoded_user hi_enc k > 0))
-        else None)
-      all_fragments
+    match store_view t with
+    | Some (view, runs) ->
+      [
+        Sorted_view.walk view ~from ~open_run:(view_open_run t runs)
+        |> Seq.take_while (fun (k, _) ->
+               Ikey.compare_encoded_user hi_enc k > 0);
+      ]
+    | None ->
+      List.filter_map
+        (fun (m : Table.meta) ->
+          (* Exclusive bound: a fragment starting exactly at [hi] holds
+             nothing in [lo, hi). *)
+          if Table.overlaps_excl m ~lo ~hi_excl:hi then
+            Some
+              (Table.Reader.stream (reader_of t m)
+                 ~category:Io_stats.Read_path ~fill_cache:false ~from ()
+              |> Seq.take_while (fun (k, _) ->
+                     Ikey.compare_encoded_user hi_enc k > 0))
+          else None)
+        (all_tables t)
   in
   let merged =
     Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:false

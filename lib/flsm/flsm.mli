@@ -24,6 +24,15 @@ type config = {
   bits_decrement : int;  (** per-level decrease of the requirement *)
   max_levels : int;
   bits_per_key : int;
+  sorted_view : bool;
+      (** maintain a store-wide REMIX-style sorted view so scans replay one
+          frozen merge instead of heap-merging every fragment (default
+          true) *)
+  sorted_view_min_runs : int;
+      (** fragment count below which scans just heap-merge (default 2) *)
+  ph_index : bool;
+      (** emit a perfect-hash point-index block in every fragment (default
+          true); see {!Wip_sstable.Table} *)
   name : string;
 }
 

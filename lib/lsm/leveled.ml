@@ -3,6 +3,7 @@ module Env = Wip_storage.Env
 module Io_stats = Wip_storage.Io_stats
 module Table = Wip_sstable.Table
 module Merge_iter = Wip_sstable.Merge_iter
+module Sorted_view = Wip_sstable.Sorted_view
 module Skiplist = Wip_memtable.Skiplist
 module Wal = Wip_wal.Wal
 module Manifest = Wip_manifest.Manifest
@@ -15,6 +16,9 @@ type config = {
   level_multiplier : int;
   max_levels : int;
   bits_per_key : int;
+  sorted_view : bool;
+  sorted_view_min_runs : int;
+  ph_index : bool;
   name : string;
 }
 
@@ -27,6 +31,9 @@ let leveldb_config ~scale =
     level_multiplier = 10;
     max_levels = 7;
     bits_per_key = 10;
+    sorted_view = true;
+    sorted_view_min_runs = 2;
+    ph_index = true;
     name = "LevelDB";
   }
 
@@ -61,6 +68,9 @@ type t = {
   mutable compactions : int;
   mutable next_snap_id : int;
   live_snaps : (int, int64) Hashtbl.t; (* snapshot id -> pinned seq *)
+  mutable view : (Sorted_view.t * Table.meta array) option;
+      (* Store-wide sorted view over the whole table set; None when absent
+         or invalidated. Scans build it lazily; compaction drops it. *)
 }
 
 let manifest_name cfg = cfg.name ^ "-manifest"
@@ -81,6 +91,7 @@ let create ?env cfg =
     compactions = 0;
     next_snap_id = 0;
     live_snaps = Hashtbl.create 8;
+    view = None;
   }
 
 let config t = t.cfg
@@ -143,6 +154,70 @@ let level_bytes t level =
   List.fold_left (fun acc (m : Table.meta) -> acc + m.Table.size) 0 t.levels.(level)
 
 (* ------------------------------------------------------------------ *)
+(* Sorted view (REMIX-style; see Sorted_view and DESIGN.md). One view over
+   the whole table set — this baseline has a single key space, so "the run
+   set" is every live table. Streams are scan-resistant
+   (~fill_cache:false): replaying the store must not evict the point-read
+   working set. *)
+
+let invalidate_view t = t.view <- None
+
+let view_open_run t (runs : Table.meta array) r ~from =
+  Table.Reader.stream (reader_of t runs.(r)) ~category:Io_stats.Read_path
+    ~fill_cache:false ~from ()
+
+let all_tables t = Array.to_list t.levels |> List.concat
+
+let store_view t =
+  match t.view with
+  | Some vr -> Some vr
+  | None ->
+    if not t.cfg.sorted_view then None
+    else begin
+      let tables = all_tables t in
+      let n = List.length tables in
+      if n < t.cfg.sorted_view_min_runs || n > Sorted_view.max_runs then None
+      else begin
+        let runs = Array.of_list tables in
+        let started = Unix.gettimeofday () in
+        let view =
+          Sorted_view.build
+            (Array.map
+               (fun m ->
+                 Table.Reader.stream (reader_of t m)
+                   ~category:Io_stats.Read_path ~fill_cache:false ())
+               runs)
+        in
+        Io_stats.record_view_rebuild (io_stats t)
+          ~ns:(int_of_float ((Unix.gettimeofday () -. started) *. 1e9));
+        let vr = (view, runs) in
+        t.view <- Some vr;
+        Some vr
+      end
+    end
+
+(* Flush site: extend an existing view with the new L0 run instead of
+   dropping it. Stores that are never scanned never have a view and never
+   pay this. *)
+let view_note_flush t (meta : Table.meta) =
+  match t.view with
+  | None -> ()
+  | Some (view, runs) ->
+    if (not t.cfg.sorted_view) || Sorted_view.run_count view >= Sorted_view.max_runs
+    then invalidate_view t
+    else begin
+      let started = Unix.gettimeofday () in
+      let view' =
+        Sorted_view.add_run view ~open_run:(view_open_run t runs)
+          (Table.Reader.stream (reader_of t meta)
+             ~category:Io_stats.Read_path ~fill_cache:false ())
+      in
+      Io_stats.record_view_rebuild (io_stats t)
+        ~ns:(int_of_float ((Unix.gettimeofday () -. started) *. 1e9));
+      t.view <- Some (view', Array.append runs [| meta |])
+    end
+
+(* ------------------------------------------------------------------ *)
 (* Writing *)
 
 let flush_mem t =
@@ -150,13 +225,14 @@ let flush_mem t =
     let name = fresh_table_name t in
     let builder =
       Table.Builder.create t.env ~name ~category:Io_stats.Flush
-        ~bits_per_key:t.cfg.bits_per_key
+        ~bits_per_key:t.cfg.bits_per_key ~ph_index:t.cfg.ph_index
         ~expected_keys:(Skiplist.count t.mem) ()
     in
     Seq.iter (fun (ik, v) -> Table.Builder.add builder ik v)
       (Skiplist.to_sorted_seq t.mem);
     let meta = Table.Builder.finish builder in
     t.levels.(0) <- meta :: t.levels.(0);
+    view_note_flush t meta;
     Manifest.append t.manifest
       (Manifest.Add_table
          {
@@ -188,7 +264,8 @@ let write_outputs t ~category ~expected_keys entries =
     let name = fresh_table_name t in
     let b =
       Table.Builder.create t.env ~name ~category
-        ~bits_per_key:t.cfg.bits_per_key ~expected_keys ()
+        ~bits_per_key:t.cfg.bits_per_key ~ph_index:t.cfg.ph_index
+        ~expected_keys ()
     in
     builder := Some b;
     b
@@ -275,11 +352,26 @@ let compact_level t level =
     in
     let seqs = List.map (fun m -> table_seq t ~category:(read_cat m) m) inputs in
     (* Tombstones can be dropped when the output level is the deepest level
-       holding data for this key range. *)
+       holding data for this key range. The range must cover every INPUT:
+       overlapping target-level files can extend beyond the sources' [lo,
+       hi], and their entries flow through this compaction too — judging
+       them by the narrower sources range once dropped a tombstone whose
+       older versions sat deeper, resurrecting a deleted key. *)
+    let input_lo =
+      List.fold_left
+        (fun acc (m : Table.meta) -> min acc m.Table.smallest)
+        lo inputs
+    and input_hi =
+      List.fold_left
+        (fun acc (m : Table.meta) -> max acc m.Table.largest)
+        hi inputs
+    in
     let deeper_has_data =
       let rec check l =
         if l >= t.cfg.max_levels then false
-        else if fst (overlapping_files t.levels.(l) ~lo ~hi) <> [] then true
+        else if
+          fst (overlapping_files t.levels.(l) ~lo:input_lo ~hi:input_hi) <> []
+        then true
         else check (l + 1)
       in
       check (target + 1)
@@ -311,6 +403,7 @@ let compact_level t level =
       t.levels.(level) <-
         List.filter (fun m -> not (List.memq m sources)) t.levels.(level);
     t.levels.(target) <- sorted_level (untouched @ outputs);
+    invalidate_view t;
     List.iter
       (fun (m : Table.meta) ->
         Manifest.append t.manifest
@@ -403,6 +496,7 @@ let recover ?env cfg =
         compactions = 0;
         next_snap_id = 0;
         live_snaps = Hashtbl.create 8;
+        view = None;
       }
     in
     Manifest.replay env ~name:(manifest_name cfg) (fun edit ->
@@ -532,20 +626,29 @@ let scan_seq t ~lo ~hi ?(limit = max_int) ~snapshot () =
     |> Seq.map (fun (ik, v) -> (Ikey.encode ik, v))
   in
   let table_seqs =
-    Array.to_list t.levels
-    |> List.concat_map (fun level ->
-           List.filter_map
-             (fun m ->
-               (* Exclusive bound: a table starting exactly at [hi] holds
-                  nothing in [lo, hi). *)
-               if Table.overlaps_excl m ~lo ~hi_excl:hi then
-                 Some
-                   (Table.Reader.stream (reader_of t m)
-                      ~category:Io_stats.Read_path ~from ()
-                   |> Seq.take_while (fun (k, _) ->
-                          Ikey.compare_encoded_user hi_enc k > 0))
-               else None)
-             level)
+    match store_view t with
+    | Some (view, runs) ->
+      [
+        Sorted_view.walk view ~from ~open_run:(view_open_run t runs)
+        |> Seq.take_while (fun (k, _) ->
+               Ikey.compare_encoded_user hi_enc k > 0);
+      ]
+    | None ->
+      Array.to_list t.levels
+      |> List.concat_map (fun level ->
+             List.filter_map
+               (fun m ->
+                 (* Exclusive bound: a table starting exactly at [hi] holds
+                    nothing in [lo, hi). *)
+                 if Table.overlaps_excl m ~lo ~hi_excl:hi then
+                   Some
+                     (Table.Reader.stream (reader_of t m)
+                        ~category:Io_stats.Read_path ~fill_cache:false ~from
+                        ()
+                     |> Seq.take_while (fun (k, _) ->
+                            Ikey.compare_encoded_user hi_enc k > 0))
+                 else None)
+               level)
   in
   let merged =
     Merge_iter.compact ~dedup_user_keys:true ~drop_tombstones:false

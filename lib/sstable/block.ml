@@ -62,6 +62,12 @@ let restart_offset raw restart_base i = Coding.get_fixed32 raw (restart_base + (
    it still across a cache-hot get. *)
 let decode_count = Atomic.make 0
 
+(* Key comparisons spent positioning cursors: every restart probe of a
+   binary search and every entry stepped over while converging on the
+   target. The perfect-hash point path jumps straight to an ordinal, so the
+   readpath bench reports this as probes/op to show the saving. *)
+let seek_probe_count = Atomic.make 0
+
 (* Decode the entry at [off]; returns (key, value, next_off). [prev_key] is
    the fully reconstructed previous key for prefix sharing. *)
 let decode_entry raw ~prev_key off =
@@ -232,15 +238,19 @@ module Cursor = struct
       false
     end
     else begin
+      let probe i =
+        Atomic.incr seek_probe_count;
+        compare_restart t i target
+      in
       let start =
-        if compare_restart t 0 target >= 0 then 0
+        if probe 0 >= 0 then 0
         else begin
           (* last restart whose key < target *)
           let rec bs lo hi =
             if hi - lo <= 1 then lo
             else
               let mid = (lo + hi) / 2 in
-              if compare_restart t mid target < 0 then bs mid hi else bs lo mid
+              if probe mid < 0 then bs mid hi else bs lo mid
           in
           bs 0 t.restart_count
         end
@@ -250,9 +260,30 @@ module Cursor = struct
       t.valid <- false;
       let rec scan () =
         if not (next t) then false
-        else if compare_key t target >= 0 then true
-        else scan ()
+        else begin
+          Atomic.incr seek_probe_count;
+          if compare_key t target >= 0 then true else scan ()
+        end
       in
       scan ()
+    end
+
+  (* Jump to entry ordinal [n] without any key comparison: restart
+     [n / restart_interval] then step [n mod restart_interval] entries.
+     Sound because {!Builder.add} opens a restart every
+     [Table_format.restart_interval] entries exactly. *)
+  let seek_ordinal t n =
+    if n < 0 then invalid_arg "Block.Cursor.seek_ordinal: negative ordinal";
+    let r = n / Table_format.restart_interval in
+    if t.restart_count = 0 || t.restart_base = 0 || r >= t.restart_count then begin
+      t.valid <- false;
+      false
+    end
+    else begin
+      t.pos <- restart_offset t.raw t.restart_base r;
+      t.key_len <- 0;
+      t.valid <- false;
+      let rec step k = k = 0 || (next t && step (k - 1)) in
+      step ((n mod Table_format.restart_interval) + 1)
     end
 end

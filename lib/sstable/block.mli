@@ -50,6 +50,12 @@ module Cursor : sig
       (bytewise), using restart-point binary search directly over the raw
       bytes followed by a forward scan; [false] if no such entry. *)
 
+  val seek_ordinal : t -> int -> bool
+  (** [seek_ordinal t n] positions at the [n]-th entry of the block
+      (0-based) with zero key comparisons: one restart jump plus at most
+      [restart_interval - 1] steps. [false] if the block has fewer than
+      [n + 1] restart spans. Used by the perfect-hash point-index path. *)
+
   val key : t -> string
   (** The current key (fresh string). *)
 
@@ -76,6 +82,12 @@ val decode_all : string -> (string * string) list
 val decode_count : int Atomic.t
 (** Number of {!decode_all} calls since start; regression tests assert the
     read hot path leaves it untouched. *)
+
+val seek_probe_count : int Atomic.t
+(** Key comparisons spent by {!Cursor.seek} (restart probes + forward
+    steps). {!Cursor.seek_ordinal} never bumps it; the readpath bench
+    reports the per-get difference between the binary-search and
+    perfect-hash point paths. *)
 
 val seek : string -> compare:(string -> int) -> (string * string) option
 (** [seek raw ~compare] returns the first entry whose key [k] satisfies

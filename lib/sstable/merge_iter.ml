@@ -37,27 +37,31 @@ let rec merge_pairs ~compare = function
     | Some r -> Some (meld ~compare ab r))
 
 let merge_by ~compare seqs =
-  let heap =
-    List.fold_left
-      (fun acc seq ->
-        match stream_of_seq seq with
-        | None -> acc
-        | Some s -> insert ~compare s acc)
-      None seqs
-  in
-  let rec next heap () =
-    match heap with
-    | None -> Seq.Nil
-    | Some (Node (s, children)) ->
-      let rest = merge_pairs ~compare children in
-      let heap' =
-        match stream_of_seq s.tail with
-        | Some s' -> insert ~compare s' rest
-        | None -> rest
-      in
-      Seq.Cons (s.head, next heap')
-  in
-  next heap
+  match List.filter_map stream_of_seq seqs with
+  | [] -> Seq.empty
+  | [ s ] ->
+    (* One live source — its order is already the merged order, so hand the
+       underlying sequence back with no per-element heap bookkeeping. The
+       common case is a store scan over a sorted view plus an empty
+       memtable. *)
+    fun () -> Seq.Cons (s.head, s.tail)
+  | streams ->
+    let heap =
+      List.fold_left (fun acc s -> insert ~compare s acc) None streams
+    in
+    let rec next heap () =
+      match heap with
+      | None -> Seq.Nil
+      | Some (Node (s, children)) ->
+        let rest = merge_pairs ~compare children in
+        let heap' =
+          match stream_of_seq s.tail with
+          | Some s' -> insert ~compare s' rest
+          | None -> rest
+        in
+        Seq.Cons (s.head, next heap')
+    in
+    next heap
 
 let compare_encoded (a : string) b = String.compare a b
 

@@ -1,0 +1,33 @@
+(** CHD-style perfect-hash point index over a table's escaped-user keys.
+
+    Built once at table-write time, the index maps each distinct user key to
+    the exact (data block, entry ordinal) of its newest version so point
+    gets skip both the index binary search's restart probing and the
+    in-block restart binary search. ~6.2 bytes per key. See ph_index.ml for
+    the construction and DESIGN.md "Read acceleration" for the block
+    format. *)
+
+val build : keys:string array -> locators:int array -> string option
+(** [build ~keys ~locators] constructs the raw (unsealed) index block.
+    [keys.(i)] is the i-th distinct escaped-user key slice in table order;
+    [locators.(i) = (block lsl 16) lor entry] locates its newest version.
+    [None] when the table is overweight (a block or entry ordinal exceeds
+    16 bits, or more than 2^22 keys) or construction fails — the table then
+    ships without an index and readers fall back to binary search. *)
+
+type reader
+
+val read : string -> reader
+(** Parse a raw index block (already CRC-verified by the caller).
+    @raise Invalid_argument on a malformed header or truncated arrays. *)
+
+val find : reader -> string -> pos:int -> len:int -> (int * int) option
+(** [find r key ~pos ~len] looks up the escaped-user slice
+    [key.[pos .. pos+len)]. [None] is a definite miss (the key is not in
+    the table). [Some (block, entry)] is a fingerprint match: with
+    probability ~1/255 an absent key aliases an unrelated slot, so the
+    caller must verify the user key at that position before trusting it. *)
+
+val key_count : reader -> int
+
+val byte_size : reader -> int

@@ -24,10 +24,19 @@ module Builder = struct
     mutable smallest_enc : string option;
     mutable largest_enc : string;
     mutable written : int;
+    mutable flushed_blocks : int;
+    (* Perfect-hash point index bookkeeping: the escaped-user slice and
+       (block, entry) locator of each distinct user key's first (= newest)
+       version, in table order. [ph_ok] drops to false — and the table
+       ships without an index — once any locator outgrows its fixed16
+       slot. *)
+    ph_wanted : bool;
+    mutable ph_ok : bool;
+    mutable ph_keys : (string * int) list; (* rev *)
   }
 
   let create env ~name ~category ?(block_size = 4096) ?(bits_per_key = 10)
-      ~expected_keys () =
+      ?(ph_index = true) ~expected_keys () =
     {
       env;
       name;
@@ -41,6 +50,10 @@ module Builder = struct
       smallest_enc = None;
       largest_enc = "";
       written = 0;
+      flushed_blocks = 0;
+      ph_wanted = ph_index;
+      ph_ok = ph_index;
+      ph_keys = [];
     }
 
   let flush_block t ~last_key =
@@ -53,11 +66,25 @@ module Builder = struct
       Env.append t.writer ~category:t.category sealed;
       t.written <- t.written + String.length sealed;
       t.index_entries <- (last_key, handle) :: t.index_entries;
-      t.block <- Block.Builder.create ()
+      t.block <- Block.Builder.create ();
+      t.flushed_blocks <- t.flushed_blocks + 1
     end
 
   let add_encoded t ~key ~value =
     assert (t.entry_count = 0 || String.compare t.largest_enc key < 0);
+    if
+      t.ph_ok
+      && (t.entry_count = 0 || not (Ikey.encoded_same_user t.largest_enc key))
+    then begin
+      let blk = t.flushed_blocks in
+      let ord = Block.Builder.entry_count t.block in
+      if blk > 0xFFFF || ord > 0xFFFF then t.ph_ok <- false
+      else
+        t.ph_keys <-
+          ( String.sub key 0 (String.length key - Ikey.trailer_length),
+            (blk lsl 16) lor ord )
+          :: t.ph_keys
+    end;
     Block.Builder.add t.block ~key ~value;
     (* The bloom hashes the escaped-user slice of the encoded key; probes
        hash the same slice of the seek target, so no unescaping on either
@@ -102,11 +129,34 @@ module Builder = struct
     in
     Env.append t.writer ~category:t.category index_sealed;
     t.written <- t.written + String.length index_sealed;
+    (* Perfect-hash point-index block (optional: absent when disabled,
+       overweight or when CHD construction fails — readers fall back to
+       restart binary search). *)
+    let ph_handle =
+      if not (t.ph_wanted && t.ph_ok && t.entry_count > 0) then
+        Table_format.no_handle
+      else begin
+        let pairs = Array.of_list (List.rev t.ph_keys) in
+        let keys = Array.map fst pairs in
+        let locators = Array.map snd pairs in
+        match Ph_index.build ~keys ~locators with
+        | None -> Table_format.no_handle
+        | Some raw ->
+          let sealed = Table_format.seal_block raw in
+          let handle =
+            { Table_format.offset = t.written; size = String.length sealed }
+          in
+          Env.append t.writer ~category:t.category sealed;
+          t.written <- t.written + String.length sealed;
+          handle
+      end
+    in
     (* Footer *)
     let footer =
       {
         Table_format.index = index_handle;
         filter = filter_handle;
+        ph = ph_handle;
         entry_count = t.entry_count;
         smallest =
           (match t.smallest_enc with
@@ -142,7 +192,14 @@ module Reader = struct
     meta : meta;
     index : (string * Table_format.block_handle) array;
     (* index.(i) = (last encoded ikey of block i, handle) *)
+    verified : Bytes.t;
+    (* verified.(i) = '\001' once block i's checksum has been verified;
+       repeat device fetches then skip the CRC pass. Races across domains
+       are benign: flags only flip '\000' -> '\001' and a stale read merely
+       re-verifies. *)
     filter : string;
+    ph : Ph_index.reader option;
+    ph_size : int; (* on-disk bytes of the ph block, 0 when absent *)
     cache : Wip_storage.Block_cache.t option;
   }
 
@@ -154,7 +211,7 @@ module Reader = struct
     try f () with
     | Invalid_argument detail -> raise (Env.Corruption { file; detail })
 
-  let open_ ?cache env ~name =
+  let open_ ?cache ?(ph = true) env ~name =
     let reader = Env.open_file env name in
     guard ~file:name @@ fun () ->
     let size = Env.file_size reader in
@@ -175,6 +232,26 @@ module Reader = struct
     in
     let index_raw = read_handle footer.Table_format.index in
     let filter = read_handle footer.Table_format.filter in
+    (* The ph block is an accelerator, never a dependency: a CRC mismatch or
+       malformed header (typed Corruption territory for any other block) is
+       recorded as a fallback and the reader serves every get through the
+       restart binary search instead. *)
+    let ph_block =
+      if (not ph) || footer.Table_format.ph.size = 0 then None
+      else
+        match
+          (try Some (read_handle footer.Table_format.ph) with
+          | Invalid_argument _ | Env.Corruption _ -> None)
+        with
+        | None ->
+          Io_stats.record_ph_fallback (Env.stats env);
+          None
+        | Some raw -> (
+          try Some (Ph_index.read raw) with
+          | Invalid_argument _ ->
+            Io_stats.record_ph_fallback (Env.stats env);
+            None)
+    in
     let index =
       let cur = Block.Cursor.create index_raw in
       let slots = ref [] in
@@ -200,13 +277,20 @@ module Reader = struct
           largest = footer.Table_format.largest;
         };
       index;
+      verified = Bytes.make (Array.length index) '\000';
       filter;
+      ph = ph_block;
+      ph_size = footer.Table_format.ph.size;
       cache;
     }
 
   let meta t = t.meta
 
   let stats t = Env.stats t.env
+
+  let has_ph t = t.ph <> None
+
+  let ph_bytes t = t.ph_size
 
   (* Probe the bloom with the escaped-user slice of an encoded (seek) key —
      the same bytes the builder hashed. *)
@@ -225,12 +309,22 @@ module Reader = struct
     Io_stats.record_bloom_probe (stats t) ~negative:(not maybe);
     maybe
 
-  let read_block t ~category ?(fill_cache = true) (handle : Table_format.block_handle) =
+  (* Data blocks are addressed by index ordinal. The checksum is verified on
+     the first device fetch of each block and skipped on repeats — the cost
+     of a CRC pass over every block on every cold scan would otherwise
+     dominate the scan itself. *)
+  let read_block t ~category ?(fill_cache = true) slot =
+    let handle : Table_format.block_handle = snd t.index.(slot) in
     Io_stats.record_block_fetch (stats t);
     let fetch () =
       guard ~file:t.meta.name @@ fun () ->
-      Table_format.unseal_block
-        (Env.read t.reader ~category ~pos:handle.offset ~len:handle.size)
+      let sealed = Env.read t.reader ~category ~pos:handle.offset ~len:handle.size in
+      if Bytes.get t.verified slot = '\001' then Table_format.strip_seal sealed
+      else begin
+        let raw = Table_format.unseal_block sealed in
+        Bytes.set t.verified slot '\001';
+        raw
+      end
     in
     match t.cache with
     | None -> fetch ()
@@ -265,6 +359,62 @@ module Reader = struct
       if i >= n then None else Some i
     end
 
+  (* Perfect-hash point path: the ph index locates the newest version of the
+     target's user key directly — one ordinal jump, zero key comparisons to
+     position. From there the cursor steps forward (sequences are encoded
+     descending) to the first version with seq <= the snapshot, crossing
+     block boundaries if a key's version chain spans them. A fingerprint
+     alias for an absent key lands on an unrelated entry; the user-key check
+     rejects it as a counted false hit. *)
+  let get_via_ph t ~category ph target ~miss =
+    let stats = stats t in
+    Io_stats.record_ph_probe stats;
+    let false_hit () =
+      Io_stats.record_ph_false_hit stats;
+      miss ()
+    in
+    let ulen = String.length target - Ikey.trailer_length in
+    match Ph_index.find ph target ~pos:0 ~len:ulen with
+    | None -> miss () (* definite absence: the bloom maybe was an FP *)
+    | Some (blk, ord) ->
+      if blk >= Array.length t.index then false_hit ()
+      else begin
+        let raw = read_block t ~category blk in
+        guard ~file:t.meta.name @@ fun () ->
+        let cur = Block.Cursor.create raw in
+        if not (Block.Cursor.seek_ordinal cur ord) then false_hit ()
+        else if
+          not
+            (Ikey.encoded_same_user_bytes (Block.Cursor.key_bytes cur)
+               ~len:(Block.Cursor.key_length cur) target)
+        then false_hit ()
+        else begin
+          let rec advance cur blk =
+            if Block.Cursor.compare_key cur target >= 0 then begin
+              let buf = Block.Cursor.key_bytes cur in
+              let len = Block.Cursor.key_length cur in
+              if Ikey.encoded_same_user_bytes buf ~len target then
+                Some
+                  ( Ikey.encoded_kind_bytes buf ~len,
+                    Block.Cursor.value cur,
+                    Ikey.encoded_seq_bytes buf ~len )
+              else miss () (* every version is newer than the snapshot *)
+            end
+            else if Block.Cursor.next cur then advance cur blk
+            else begin
+              let blk = blk + 1 in
+              if blk >= Array.length t.index then miss ()
+              else begin
+                let raw = read_block t ~category blk in
+                let cur = Block.Cursor.create raw in
+                if Block.Cursor.next cur then advance cur blk else miss ()
+              end
+            end
+          in
+          advance cur blk
+        end
+      end
+
   (* [target] must be an {!Ikey.encode_seek} result. The first entry >= target
      that still shares the user key necessarily has sequence <= the snapshot
      (the encoding orders sequences descending), so a single cursor seek is
@@ -277,24 +427,26 @@ module Reader = struct
         Io_stats.record_bloom_false_positive (stats t);
         None
       in
-      match index_slot t target with
-      | None -> miss ()
-      | Some slot ->
-        let _, handle = t.index.(slot) in
-        let raw = read_block t ~category handle in
-        guard ~file:t.meta.name @@ fun () ->
-        let cur = Block.Cursor.create raw in
-        if not (Block.Cursor.seek cur target) then miss ()
-        else begin
-          let buf = Block.Cursor.key_bytes cur in
-          let len = Block.Cursor.key_length cur in
-          if not (Ikey.encoded_same_user_bytes buf ~len target) then miss ()
-          else
-            Some
-              ( Ikey.encoded_kind_bytes buf ~len,
-                Block.Cursor.value cur,
-                Ikey.encoded_seq_bytes buf ~len )
-        end
+      match t.ph with
+      | Some ph -> get_via_ph t ~category ph target ~miss
+      | None -> (
+        match index_slot t target with
+        | None -> miss ()
+        | Some slot ->
+          let raw = read_block t ~category slot in
+          guard ~file:t.meta.name @@ fun () ->
+          let cur = Block.Cursor.create raw in
+          if not (Block.Cursor.seek cur target) then miss ()
+          else begin
+            let buf = Block.Cursor.key_bytes cur in
+            let len = Block.Cursor.key_length cur in
+            if not (Ikey.encoded_same_user_bytes buf ~len target) then miss ()
+            else
+              Some
+                ( Ikey.encoded_kind_bytes buf ~len,
+                  Block.Cursor.value cur,
+                  Ikey.encoded_seq_bytes buf ~len )
+          end)
     end
 
   let get t ~category user_key ~snapshot =
@@ -313,8 +465,7 @@ module Reader = struct
     let rec from_slot slot seek_target () =
       if slot >= n then Seq.Nil
       else begin
-        let _, handle = t.index.(slot) in
-        let raw = read_block t ~category ~fill_cache handle in
+        let raw = read_block t ~category ~fill_cache slot in
         guard ~file:t.meta.name @@ fun () ->
         let cur = Block.Cursor.create raw in
         let positioned =

@@ -27,13 +27,17 @@ module Builder : sig
     category:Wip_storage.Io_stats.category ->
     ?block_size:int ->
     ?bits_per_key:int ->
+    ?ph_index:bool ->
     expected_keys:int ->
     unit ->
     t
   (** [block_size] defaults to 4096 bytes, [bits_per_key] to 10.
       [expected_keys] sizes the bloom filter and is required: every call
       site knows (or can bound) its key count, and a defaulted guess either
-      wastes filter bytes or inflates the false-positive rate. *)
+      wastes filter bytes or inflates the false-positive rate.
+      [ph_index] (default true) emits a {!Ph_index} block mapping each user
+      key to its newest version's exact slot; it is silently dropped for
+      overweight tables or failed constructions. *)
 
   val add : t -> Wip_util.Ikey.t -> string -> unit
   (** Keys must arrive in strictly ascending internal-key order. *)
@@ -58,13 +62,28 @@ end
 module Reader : sig
   type t
 
-  val open_ : ?cache:Wip_storage.Block_cache.t -> Wip_storage.Env.t -> name:string -> t
-  (** Reads footer, index and filter eagerly (accounted as
-      [Table_meta] traffic); data blocks are read on demand, consulting
-      [cache] first when one is supplied (only device reads are charged to
-      the {!Wip_storage.Io_stats.category}). *)
+  val open_ :
+    ?cache:Wip_storage.Block_cache.t ->
+    ?ph:bool ->
+    Wip_storage.Env.t ->
+    name:string ->
+    t
+  (** Reads footer, index, filter and (when present) the perfect-hash point
+      index eagerly (accounted as [Table_meta] traffic); data blocks are
+      read on demand, consulting [cache] first when one is supplied (only
+      device reads are charged to the {!Wip_storage.Io_stats.category}).
+      [ph] (default true) set to false ignores any ph block — the bench's
+      A/B switch. A ph block that fails its CRC or parse is recorded as a
+      ph fallback and ignored: corruption of the accelerator never fails
+      the open or the gets it would have served. *)
 
   val meta : t -> meta
+
+  val has_ph : t -> bool
+  (** Whether gets on this reader take the perfect-hash point path. *)
+
+  val ph_bytes : t -> int
+  (** On-disk size of the ph block (0 when absent) — bench reporting. *)
 
   val get :
     t ->

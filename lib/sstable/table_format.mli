@@ -14,13 +14,23 @@
 
 val magic : int64
 
+val magic_v2 : int64
+(** Magic of footers that carry a perfect-hash point-index block handle.
+    Readers accept both; writers emit [magic_v2] only when a ph block is
+    present, so tables without one stay byte-identical to v1. *)
+
 val restart_interval : int
 
 type block_handle = { offset : int; size : int }
 
+val no_handle : block_handle
+(** [{offset = 0; size = 0}] — the "block absent" sentinel (size 0). *)
+
 type footer = {
   index : block_handle;
   filter : block_handle;
+  ph : block_handle;
+      (** perfect-hash point index; [no_handle] when the table has none *)
   entry_count : int;
   smallest : string;  (** smallest user key, "" when the table is empty *)
   largest : string;
@@ -44,3 +54,7 @@ val seal_block : string -> string
 val unseal_block : string -> string
 (** Verify and strip the trailer.
     @raise Invalid_argument on checksum mismatch. *)
+
+val strip_seal : string -> string
+(** Strip the trailer without verifying it — for blocks whose checksum an
+    earlier read of the same file already verified. *)

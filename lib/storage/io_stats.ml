@@ -45,6 +45,11 @@ type t = {
   mutable group_commits : int; (* group-commit windows (one fsync each) *)
   mutable group_commit_requests : int; (* logical commits coalesced into them *)
   mutable group_commit_ns : int; (* total window latency, submit to ack *)
+  mutable ph_probes : int; (* perfect-hash point-index lookups *)
+  mutable ph_false_hits : int; (* fingerprint aliases rejected by key check *)
+  mutable ph_fallbacks : int; (* ph blocks dropped (CRC/parse) at open *)
+  mutable view_rebuilds : int; (* sorted-view builds + incremental add_runs *)
+  mutable view_rebuild_ns : int; (* total time spent in those rebuilds *)
 }
 
 let create () =
@@ -78,6 +83,11 @@ let create () =
     group_commits = 0;
     group_commit_requests = 0;
     group_commit_ns = 0;
+    ph_probes = 0;
+    ph_false_hits = 0;
+    ph_fallbacks = 0;
+    view_rebuilds = 0;
+    view_rebuild_ns = 0;
   }
 
 let locked t f = Sync.with_lock t.lock f
@@ -163,6 +173,29 @@ let group_commit_count t = locked t (fun () -> t.group_commits)
 let group_commit_request_count t = locked t (fun () -> t.group_commit_requests)
 
 let group_commit_ns t = locked t (fun () -> t.group_commit_ns)
+
+let record_ph_probe t = locked t (fun () -> t.ph_probes <- t.ph_probes + 1)
+
+let record_ph_false_hit t =
+  locked t (fun () -> t.ph_false_hits <- t.ph_false_hits + 1)
+
+let record_ph_fallback t =
+  locked t (fun () -> t.ph_fallbacks <- t.ph_fallbacks + 1)
+
+let record_view_rebuild t ~ns =
+  locked t (fun () ->
+      t.view_rebuilds <- t.view_rebuilds + 1;
+      t.view_rebuild_ns <- t.view_rebuild_ns + max 0 ns)
+
+let ph_probe_count t = locked t (fun () -> t.ph_probes)
+
+let ph_false_hit_count t = locked t (fun () -> t.ph_false_hits)
+
+let ph_fallback_count t = locked t (fun () -> t.ph_fallbacks)
+
+let view_rebuild_count t = locked t (fun () -> t.view_rebuilds)
+
+let view_rebuild_ns t = locked t (fun () -> t.view_rebuild_ns)
 
 let record_stall t ~ns =
   locked t (fun () ->
@@ -280,6 +313,11 @@ let reset t =
       t.group_commits <- 0;
       t.group_commit_requests <- 0;
       t.group_commit_ns <- 0;
+      t.ph_probes <- 0;
+      t.ph_false_hits <- 0;
+      t.ph_fallbacks <- 0;
+      t.view_rebuilds <- 0;
+      t.view_rebuild_ns <- 0;
       Array.fill t.level_w 0 (Array.length t.level_w) 0;
       Array.fill t.level_r 0 (Array.length t.level_r) 0)
 
@@ -332,4 +370,9 @@ let diff cur base =
     group_commits = cur.group_commits - base.group_commits;
     group_commit_requests = cur.group_commit_requests - base.group_commit_requests;
     group_commit_ns = cur.group_commit_ns - base.group_commit_ns;
+    ph_probes = cur.ph_probes - base.ph_probes;
+    ph_false_hits = cur.ph_false_hits - base.ph_false_hits;
+    ph_fallbacks = cur.ph_fallbacks - base.ph_fallbacks;
+    view_rebuilds = cur.view_rebuilds - base.view_rebuilds;
+    view_rebuild_ns = cur.view_rebuild_ns - base.view_rebuild_ns;
   }

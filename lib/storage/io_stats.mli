@@ -61,6 +61,21 @@ val record_bloom_false_positive : t -> unit
 val record_block_fetch : t -> unit
 (** Count one data-block request (cache hits included). *)
 
+val record_ph_probe : t -> unit
+(** Count one perfect-hash point-index lookup on a table get. *)
+
+val record_ph_false_hit : t -> unit
+(** Count one fingerprint alias: the ph slot named an entry whose user key
+    did not match the target (probability ~1/255 per absent-key probe). *)
+
+val record_ph_fallback : t -> unit
+(** Count one ph block dropped at reader open (CRC or parse failure) — the
+    table serves gets through restart binary search instead. *)
+
+val record_view_rebuild : t -> ns:int -> unit
+(** Count one sorted-view construction (full build or incremental add_run)
+    taking [ns] nanoseconds (clamped at 0). *)
+
 val bloom_probe_count : t -> int
 
 val bloom_negative_count : t -> int
@@ -71,6 +86,17 @@ val bloom_fp_rate : t -> float
 (** [false positives / (probes - negatives)]; 0 with no maybe-answers. *)
 
 val block_fetch_count : t -> int
+
+val ph_probe_count : t -> int
+
+val ph_false_hit_count : t -> int
+
+val ph_fallback_count : t -> int
+
+val view_rebuild_count : t -> int
+
+val view_rebuild_ns : t -> int
+(** Total nanoseconds spent building sorted views. *)
 
 val sync_count : t -> int
 (** Durability barriers issued — the denominator of fsync overhead. *)

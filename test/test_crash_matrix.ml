@@ -65,6 +65,9 @@ let leveled_cfg =
     level_multiplier = 4;
     max_levels = 3;
     bits_per_key = 10;
+    sorted_view = true;
+    sorted_view_min_runs = 2;
+    ph_index = true;
     name = "mxl";
   }
 
@@ -76,6 +79,9 @@ let flsm_cfg =
     bits_decrement = 1;
     max_levels = 3;
     bits_per_key = 10;
+    sorted_view = true;
+    sorted_view_min_runs = 2;
+    ph_index = true;
     name = "mxf";
   }
 

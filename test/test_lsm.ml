@@ -15,6 +15,9 @@ let small_config =
     level_multiplier = 10;
     max_levels = 7;
     bits_per_key = 10;
+    sorted_view = true;
+    sorted_view_min_runs = 2;
+    ph_index = true;
     name = "LevelDB-test";
   }
 

@@ -18,6 +18,7 @@ let () =
       ("cache", Test_cache.suite);
       ("readpath", Test_readpath.suite);
       ("iterator", Test_iterator.suite);
+      ("sorted-view", Test_sorted_view.suite);
       ("snapshot", Test_snapshot.suite);
       ("concurrent", Test_concurrent.suite);
       ("sharded", Test_sharded.suite);

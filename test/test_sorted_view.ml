@@ -1,0 +1,310 @@
+(* Read acceleration: sorted views and the perfect-hash point index.
+
+   - property: a view walk is byte-identical to the pairing-heap reference
+     merge (Merge_iter) from arbitrary seek points, including after an
+     incremental add_run;
+   - property: engine scans with the accelerators on equal the same store
+     with them off, under interleaved writes/deletes/flushes/compactions/
+     splits, including pinned-snapshot reads;
+   - unit: Ph_index build/find roundtrip, alias rate, malformed blocks;
+   - unit: table gets through the ph index equal the binary-search path for
+     every live version and snapshot. *)
+
+module Ikey = Wip_util.Ikey
+module Rng = Wip_util.Rng
+module Merge_iter = Wip_sstable.Merge_iter
+module Sorted_view = Wip_sstable.Sorted_view
+module Ph_index = Wip_sstable.Ph_index
+module Table = Wip_sstable.Table
+module Io_stats = Wip_storage.Io_stats
+module Config = Wipdb.Config
+module Store = Wipdb.Store
+
+let key i = Printf.sprintf "%08d" i
+
+(* ------------------------------------------------------------------ *)
+(* Pure view-vs-reference property *)
+
+(* [k] runs of encoded entries with globally unique keys (distinct seqs),
+   each run sorted by encoded key — the shape every table stream has. *)
+let make_runs rng ~k ~n =
+  let runs = Array.make k [] in
+  for i = 0 to n - 1 do
+    let user = key (Rng.int rng 400) in
+    let enc = Ikey.encode (Ikey.make user ~seq:(Int64.of_int (i + 1))) in
+    let r = Rng.int rng k in
+    runs.(r) <- (enc, "v" ^ string_of_int i) :: runs.(r)
+  done;
+  Array.map
+    (fun l -> List.sort (fun (a, _) (b, _) -> String.compare a b) l)
+    runs
+
+let reference_merge runs ~from =
+  Merge_iter.merge (Array.to_list runs |> List.map List.to_seq)
+  |> Seq.filter (fun (k, _) -> String.compare k from >= 0)
+  |> List.of_seq
+
+let open_run_of runs r ~from =
+  List.to_seq runs.(r) |> Seq.filter (fun (k, _) -> String.compare k from >= 0)
+
+let check_walk name view runs ~from =
+  let got =
+    Sorted_view.walk view ~from ~open_run:(open_run_of runs) |> List.of_seq
+  in
+  let want = reference_merge runs ~from in
+  if got <> want then
+    Alcotest.failf "%s: walk from %S diverged (%d entries vs %d)" name
+      (String.escaped from) (List.length got) (List.length want)
+
+let test_view_matches_merge () =
+  let rng = Rng.create ~seed:7701L in
+  for round = 0 to 9 do
+    let k = 1 + Rng.int rng 8 in
+    let n = Rng.int rng 1500 in
+    let runs = make_runs rng ~k ~n in
+    let view = Sorted_view.build (Array.map List.to_seq runs) in
+    Alcotest.(check int)
+      (Printf.sprintf "round %d entry count" round)
+      n (Sorted_view.entry_count view);
+    check_walk "full" view runs ~from:"";
+    (* Seek from existing keys, keys past the end, and synthetic points. *)
+    let all = reference_merge runs ~from:"" in
+    for _ = 1 to 25 do
+      let from =
+        match all with
+        | [] -> key (Rng.int rng 400)
+        | l ->
+          let i = Rng.int rng (List.length l) in
+          fst (List.nth l i)
+      in
+      check_walk "seek" view runs ~from
+    done;
+    check_walk "past end" view runs ~from:"\255\255"
+  done
+
+let test_view_add_run () =
+  let rng = Rng.create ~seed:7702L in
+  for _ = 0 to 4 do
+    let k = 1 + Rng.int rng 5 in
+    let runs = make_runs rng ~k:(k + 1) ~n:(200 + Rng.int rng 800) in
+    let base = Array.sub runs 0 k in
+    let view = Sorted_view.build (Array.map List.to_seq base) in
+    let view' =
+      Sorted_view.add_run view ~open_run:(open_run_of base)
+        (List.to_seq runs.(k))
+    in
+    Alcotest.(check int) "run count" (k + 1) (Sorted_view.run_count view');
+    check_walk "after add_run" view' runs ~from:"";
+    for _ = 1 to 10 do
+      check_walk "after add_run seek" view' runs ~from:(key (Rng.int rng 400))
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Ph_index unit tests *)
+
+let test_ph_roundtrip () =
+  let rng = Rng.create ~seed:7703L in
+  let n = 3000 in
+  let keys = Array.init n (fun i -> Printf.sprintf "user-%06d" i) in
+  let locators =
+    Array.init n (fun _ -> (Rng.int rng 0x10000 lsl 16) lor Rng.int rng 0x10000)
+  in
+  match Ph_index.build ~keys ~locators with
+  | None -> Alcotest.fail "build failed on a well-formed key set"
+  | Some block ->
+    let r = Ph_index.read block in
+    Alcotest.(check int) "key count" n (Ph_index.key_count r);
+    Array.iteri
+      (fun i k ->
+        match Ph_index.find r k ~pos:0 ~len:(String.length k) with
+        | Some loc when loc = (locators.(i) lsr 16, locators.(i) land 0xFFFF) ->
+          ()
+        | Some (b, e) ->
+          Alcotest.failf "%s: wrong locator (%d,%d), want (%d,%d)" k b e
+            (locators.(i) lsr 16)
+            (locators.(i) land 0xFFFF)
+        | None -> Alcotest.failf "%s: perfect hash missed a member key" k)
+      keys;
+    (* Absent keys: fingerprint aliases are possible but must be rare
+       (expected rate 1/255 ≈ 0.4%). *)
+    let aliases = ref 0 in
+    let probes = 2000 in
+    for i = 0 to probes - 1 do
+      let k = Printf.sprintf "absent-%06d" i in
+      match Ph_index.find r k ~pos:0 ~len:(String.length k) with
+      | Some _ -> incr aliases
+      | None -> ()
+    done;
+    Alcotest.(check bool)
+      (Printf.sprintf "alias rate %d/%d below 2.5%%" !aliases probes)
+      true
+      (!aliases * 40 < probes)
+
+let test_ph_rejects_overweight () =
+  let keys = [| "a"; "b" |] in
+  Alcotest.(check bool) "block ordinal over 16 bits" true
+    (Ph_index.build ~keys ~locators:[| 0x1_0000_0000; 1 |] = None);
+  Alcotest.(check bool) "empty key set" true
+    (Ph_index.build ~keys:[||] ~locators:[||] = None)
+
+let test_ph_malformed () =
+  let raises s =
+    match Ph_index.read s with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "malformed block %S parsed" (String.escaped s)
+  in
+  raises "";
+  raises "garbage that is not an index block";
+  (* Truncate a valid block: every prefix must be rejected, not mis-read. *)
+  let keys = Array.init 50 (fun i -> key i) in
+  let locators = Array.init 50 (fun i -> i) in
+  match Ph_index.build ~keys ~locators with
+  | None -> Alcotest.fail "small build failed"
+  | Some block ->
+    raises (String.sub block 0 (String.length block / 2));
+    raises (String.sub block 0 (String.length block - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Table-level: ph path equals binary-search path for every version *)
+
+let test_table_ph_equals_binary () =
+  let env = Wip_storage.Env.in_memory () in
+  let name = "ph-eq.sst" in
+  let b =
+    Table.Builder.create env ~name ~category:Io_stats.Flush ~bits_per_key:10
+      ~expected_keys:700 ()
+  in
+  (* 200 users; user i has versions at seqs {3i+3, 3i+2, 3i+1} (descending
+     encoded order = ascending table order by encoding), multiples of 7
+     deleted at their newest seq. *)
+  let seqs_of i = [ 3 * i + 3; 3 * i + 2; 3 * i + 1 ] in
+  for i = 0 to 199 do
+    List.iter
+      (fun s ->
+        let kind =
+          if i mod 7 = 0 && s = 3 * i + 3 then Ikey.Deletion else Ikey.Value
+        in
+        Table.Builder.add b
+          (Ikey.make ~kind (key i) ~seq:(Int64.of_int s))
+          (Printf.sprintf "v%d@%d" i s))
+      (seqs_of i)
+  done;
+  let _meta = Table.Builder.finish b in
+  let with_ph = Table.Reader.open_ env ~name in
+  let without = Table.Reader.open_ env ~name ~ph:false in
+  Alcotest.(check bool) "index present" true (Table.Reader.has_ph with_ph);
+  Alcotest.(check bool) "index suppressed" false (Table.Reader.has_ph without);
+  Alcotest.(check bool) "index bytes reported" true
+    (Table.Reader.ph_bytes with_ph > 0);
+  let probe r target =
+    match Table.Reader.get_encoded r ~category:Io_stats.Read_path target with
+    | Some (kind, v, seq) -> Some (kind, v, seq)
+    | None -> None
+  in
+  (* Every user x every interesting snapshot, plus absent users. *)
+  for i = 0 to 209 do
+    List.iter
+      (fun snap ->
+        let target = Ikey.encode_seek (key i) ~seq:(Int64.of_int snap) in
+        let a = probe with_ph target and b = probe without target in
+        if a <> b then
+          Alcotest.failf "user %d snap %d: ph path diverged from binary path"
+            i snap)
+      [ 0; 3 * i; 3 * i + 1; 3 * i + 2; 3 * i + 3; 10_000 ]
+  done;
+  (* The ph path was actually exercised. *)
+  let stats = Wip_storage.Env.stats env in
+  Alcotest.(check bool) "ph probes recorded" true
+    (Io_stats.ph_probe_count stats > 0);
+  Table.Reader.close with_ph;
+  Table.Reader.close without
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level equivalence: accelerators on vs off under churn *)
+
+let small_config ~accel name =
+  {
+    Config.default with
+    Config.memtable_items = 48;
+    memtable_bytes = 4 * 1024;
+    t_sublevels = 4;
+    min_count = 2;
+    max_count = 6;
+    initial_buckets = 2;
+    sorted_view = accel;
+    ph_index = accel;
+    name;
+  }
+
+let test_store_equivalence_under_churn () =
+  let rng = Rng.create ~seed:7704L in
+  let on = Store.create (small_config ~accel:true "sv-on") in
+  let off = Store.create (small_config ~accel:false "sv-off") in
+  let both f =
+    f on;
+    f off
+  in
+  let compare_scans tag =
+    for _ = 1 to 6 do
+      let a = Rng.int rng 600 and b = Rng.int rng 600 in
+      let lo = key (min a b) and hi = key (max a b) in
+      let sa = Store.scan on ~lo ~hi () and sb = Store.scan off ~lo ~hi () in
+      if sa <> sb then
+        Alcotest.failf "%s: scan [%s,%s) diverged (%d vs %d entries)" tag lo
+          hi (List.length sa) (List.length sb);
+      let ia = List.of_seq (Store.iter_range on ~lo ~hi ())
+      and ib = List.of_seq (Store.iter_range off ~lo ~hi ()) in
+      if ia <> ib then Alcotest.failf "%s: iter_range diverged" tag
+    done
+  in
+  let snaps = ref [] in
+  for phase = 0 to 7 do
+    for _ = 1 to 300 do
+      let k = key (Rng.int rng 600) in
+      if Rng.int rng 10 = 0 then both (fun s -> Store.delete s ~key:k)
+      else
+        let v = Printf.sprintf "p%d-%d" phase (Rng.int rng 1_000_000) in
+        both (fun s -> Store.put s ~key:k ~value:v)
+    done;
+    (* Pin matching snapshots on both stores before more churn. *)
+    if phase = 2 || phase = 5 then
+      snaps := (Store.snapshot on, Store.snapshot off) :: !snaps;
+    if phase mod 2 = 1 then both (fun s -> Store.flush s);
+    if phase mod 3 = 2 then both (fun s -> Store.maintenance s ());
+    compare_scans (Printf.sprintf "phase %d" phase);
+    (* Snapshot-anchored scans must agree long after the pin, across the
+       flushes/compactions/splits that happened since. *)
+    List.iter
+      (fun (sa, sb) ->
+        let ra = Store.scan_at on ~lo:"" ~hi:"\255" ~snapshot:sa ()
+        and rb = Store.scan_at off ~lo:"" ~hi:"\255" ~snapshot:sb () in
+        if ra <> rb then
+          Alcotest.failf "phase %d: pinned snapshot scan diverged" phase)
+      !snaps
+  done;
+  List.iter
+    (fun (sa, sb) ->
+      Wip_kv.Store_intf.release sa;
+      Wip_kv.Store_intf.release sb)
+    !snaps;
+  (* The accelerated store actually used its accelerators. *)
+  let stats_on = Wip_storage.Env.stats (Store.env on) in
+  Alcotest.(check bool) "views were built" true
+    (Io_stats.view_rebuild_count stats_on > 0)
+
+let suite =
+  [
+    Alcotest.test_case "view matches merge reference" `Quick
+      test_view_matches_merge;
+    Alcotest.test_case "add_run matches rebuilt merge" `Quick
+      test_view_add_run;
+    Alcotest.test_case "ph roundtrip + alias rate" `Quick test_ph_roundtrip;
+    Alcotest.test_case "ph rejects overweight tables" `Quick
+      test_ph_rejects_overweight;
+    Alcotest.test_case "ph rejects malformed blocks" `Quick test_ph_malformed;
+    Alcotest.test_case "table ph path equals binary path" `Quick
+      test_table_ph_equals_binary;
+    Alcotest.test_case "store scans: accelerators on = off" `Quick
+      test_store_equivalence_under_churn;
+  ]

@@ -64,6 +64,7 @@ let test_footer_roundtrip () =
     {
       Table_format.index = { Table_format.offset = 123; size = 45 };
       filter = { Table_format.offset = 6; size = 7 };
+      ph = Table_format.no_handle;
       entry_count = 890;
       smallest = "aaa";
       largest = "zzz";
@@ -74,7 +75,25 @@ let test_footer_roundtrip () =
   Alcotest.(check int) "index offset" 123 f'.Table_format.index.Table_format.offset;
   Alcotest.(check int) "entries" 890 f'.Table_format.entry_count;
   Alcotest.(check string) "smallest" "aaa" f'.Table_format.smallest;
-  Alcotest.(check string) "largest" "zzz" f'.Table_format.largest
+  Alcotest.(check string) "largest" "zzz" f'.Table_format.largest;
+  Alcotest.(check int) "no ph block" 0 f'.Table_format.ph.Table_format.size;
+  (* v1 magic: a footer without a ph block is byte-identical to v1. *)
+  let n = String.length encoded in
+  Alcotest.(check int64) "v1 magic" Table_format.magic
+    (Wip_util.Coding.get_fixed64 encoded (n - 12));
+  (* With a ph handle the footer switches to the v2 magic and round-trips. *)
+  let f2 =
+    { f with Table_format.ph = { Table_format.offset = 77; size = 88 } }
+  in
+  let encoded2 = Table_format.encode_footer f2 in
+  let n2 = String.length encoded2 in
+  Alcotest.(check int64) "v2 magic" Table_format.magic_v2
+    (Wip_util.Coding.get_fixed64 encoded2 (n2 - 12));
+  let f2' = Table_format.decode_footer encoded2 in
+  Alcotest.(check int) "ph offset" 77 f2'.Table_format.ph.Table_format.offset;
+  Alcotest.(check int) "ph size" 88 f2'.Table_format.ph.Table_format.size;
+  Alcotest.(check int) "v2 index offset" 123
+    f2'.Table_format.index.Table_format.offset
 
 (* ------------------------------------------------------------------ *)
 (* Table layer *)

@@ -1,0 +1,14 @@
+(* Fixture: R7 — heap merges outside lib/sstable bypass the sorted view. *)
+
+let scan_all seqs = Merge_iter.merge seqs (* FINDING: R7 *)
+
+let scan_user seqs =
+  Wip_sstable.Merge_iter.merge_by ~compare:String.compare seqs (* FINDING: R7 *)
+
+(* Negative case: compact is the sanctioned engine entry point. *)
+let flush seqs = Merge_iter.compact ~dedup_user_keys:true seqs
+
+(* Suppressed case: disjoint-shard concatenation is not a run merge. *)
+let shard_concat seqs =
+  (* lint: allow R7 — fixture: shard streams are disjoint, not runs *)
+  Merge_iter.merge_by ~compare:String.compare seqs

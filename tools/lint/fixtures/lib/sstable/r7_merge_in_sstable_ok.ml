@@ -1,0 +1,6 @@
+(* Fixture: R7 negative — lib/sstable owns the heap merge: view rebuilds
+   and compaction are built on it. *)
+
+let build runs = Merge_iter.merge_by ~compare:String.compare runs
+
+let merge_runs seqs = Merge_iter.merge seqs

@@ -26,6 +26,13 @@
          fault would skip retry accounting and the Healthy→Degraded
          transition; upper layers catch generically and consult the
          Env.io_fault_detail / io_fault_retryable classifiers.
+     R7  Merge_iter.merge / merge_by only inside lib/sstable — the heap
+         merge is the primitive under sorted-view rebuilds and compaction
+         ([Sorted_view.build]/[add_run], [Merge_iter.compact]); a fresh
+         heap merge anywhere else in lib/ is a read path that silently
+         bypasses the view replay the scan acceleration depends on.
+         [Merge_iter.compact] itself stays legal everywhere (engines call
+         it at their flush/compaction sites).
 
    Suppressions:
      (* lint: allow R3 — reason *)        covers its own line and the next
@@ -55,6 +62,9 @@ let rules : (string * string) list =
     ("R6", "only Wip_util.Retry and lib/storage may match Env.Io_fault — \
             catch generically and use Env.io_fault_detail / \
             io_fault_retryable so retries and degradation stay accounted");
+    ("R7", "Merge_iter.merge / merge_by outside lib/sstable is a heap \
+            merge on the read path — scans go through the sorted-view \
+            replay (or the engine's existing Merge_iter.compact sites)");
     ("R0", "suppression hygiene");
   ]
 
@@ -208,7 +218,7 @@ let stdout_printers =
   [ "print_string"; "print_endline"; "print_newline"; "print_char";
     "print_int"; "print_float"; "print_bytes" ]
 
-let check_expr ~ctx ~file ~in_storage ~in_server ~bound
+let check_expr ~ctx ~file ~in_storage ~in_server ~in_sstable ~bound
     (e : Parsetree.expression) =
   let line = e.pexp_loc.Location.loc_start.Lexing.pos_lnum in
   let ident_checks lid =
@@ -247,6 +257,16 @@ let check_expr ~ctx ~file ~in_storage ~in_server ~bound
         add_finding ~file ~line ~rule:"R5"
           (Printf.sprintf "%s writes to stdout from lib/" (path_of lid))
     end;
+    (* R7: heap merges outside lib/sstable. Only [merge]/[merge_by] —
+       [compact] is the sanctioned engine entry point. *)
+    if
+      ctx = Lib && (not in_sstable)
+      && List.mem "Merge_iter" comps
+      && (String.equal last "merge" || String.equal last "merge_by")
+    then
+      add_finding ~file ~line ~rule:"R7"
+        (Printf.sprintf "%s heap-merges outside lib/sstable, bypassing the \
+                         sorted-view replay" (path_of lid));
     (* R1 (part): bare [compare] that is not a local binding. *)
     if ctx = Lib then begin
       match comps with
@@ -309,6 +329,7 @@ let lint_file ~report file =
   in
   let in_storage = contains_sub file "lib/storage/" in
   let in_server = contains_sub file "lib/server/" in
+  let in_sstable = contains_sub file "lib/sstable/" in
   let in_fault_layer = in_storage || contains_sub file "util/retry.ml" in
   match parse_file file with
   | exception e ->
@@ -327,7 +348,8 @@ let lint_file ~report file =
             Ast_iterator.default_iterator with
             expr =
               (fun self e ->
-                check_expr ~ctx ~file ~in_storage ~in_server ~bound e;
+                check_expr ~ctx ~file ~in_storage ~in_server ~in_sstable
+                  ~bound e;
                 Ast_iterator.default_iterator.expr self e);
             pat =
               (fun self p ->
