@@ -93,7 +93,7 @@ type arm_metrics = {
   a_ph_bytes : int; (* index block bytes across live tables *)
 }
 
-let engine_keys = 20_000
+let engine_key_count = 20_000
 
 let engine_value = String.make 64 'e'
 
@@ -118,8 +118,8 @@ let ph_bytes_of st =
 let measure_arm st =
   (* Load in a stride order so every flushed run spans the key space — the
      maximal-overlap shape the view is built for. *)
-  for i = 0 to engine_keys - 1 do
-    Store_intf.put st ~key:(ekey (i * 7919 mod engine_keys)) ~value:engine_value
+  for i = 0 to engine_key_count - 1 do
+    Store_intf.put st ~key:(ekey (i * 7919 mod engine_key_count)) ~value:engine_value
   done;
   Store_intf.flush st;
   let runs = List.length (table_files st) in
@@ -127,8 +127,8 @@ let measure_arm st =
      passes measure the steady state (the build itself is reported via
      view_rebuild_ns). *)
   let warm = List.length (Store_intf.scan st ~lo:"" ~hi:"\255" ()) in
-  if warm <> engine_keys then
-    failwith (Printf.sprintf "scan returned %d of %d keys" warm engine_keys);
+  if warm <> engine_key_count then
+    failwith (Printf.sprintf "scan returned %d of %d keys" warm engine_key_count);
   let reps = 12 in
   Gc.full_major ();
   (* Median of per-rep times: a single scan is a few ms, so one stray
@@ -139,14 +139,14 @@ let measure_arm st =
         ignore (Store_intf.scan st ~lo:"" ~hi:"\255" ());
         Unix.gettimeofday () -. t0)
   in
-  Array.sort compare times;
-  let scan_ns = times.(reps / 2) *. 1e9 /. float_of_int engine_keys in
+  Array.sort Float.compare times;
+  let scan_ns = times.(reps / 2) *. 1e9 /. float_of_int engine_key_count in
   let get_ops = 3000 in
   Gc.full_major ();
   let p0 = Atomic.get Block.seek_probe_count in
   let g0 = Unix.gettimeofday () in
   for i = 0 to get_ops - 1 do
-    match Store_intf.get st (ekey (i * 4241 mod engine_keys)) with
+    match Store_intf.get st (ekey (i * 4241 mod engine_key_count)) with
     | Some _ -> ()
     | None -> failwith "lost key"
   done;
@@ -239,7 +239,7 @@ let run_engines () =
     (Printf.sprintf
        "readpath: engine scans + gets, accelerators on vs off (%d keys, \
         compaction suppressed)"
-       engine_keys);
+       engine_key_count);
   row "%-10s %5s %16s %16s %9s %14s %14s" "engine" "runs" "scan ns/entry"
     "(off)" "speedup" "get probes/op" "(off)";
   let measure name mk =

@@ -8,10 +8,9 @@ module Make (S : Wip_kv.Store_intf.S) = struct
     lo : string; (* inclusive lower key bound; "" for the first shard *)
     store : S.t;
     lock : Sync.t;
-    mutable claimed : bool; (* held by a pool worker; guarded by pool_lock *)
-    mutable inflight : int;
-        (* bytes admitted since the pool last serviced this shard; guarded
-           by [lock] (pool priority reads it racily, which is advisory) *)
+    mutable claimed : bool; (* held by a pool worker; guarded_by: pool_lock *)
+    mutable inflight : int; (* guarded_by: lock — bytes admitted since the
+           pool last serviced this shard (priority reads it racily, advisory) *)
   }
 
   type t = {
@@ -21,7 +20,9 @@ module Make (S : Wip_kv.Store_intf.S) = struct
     stopping : bool Atomic.t;
     cycles : int Atomic.t;
     pool_lock : Sync.t;
-    mutable workers : unit Domain.t list;
+    (* Written in [create] before the front is shared and in [stop] (idempotent
+       via the [stopping] exchange); never touched concurrently. *)
+    mutable workers : unit Domain.t list; (* guarded_by: none *)
     (* Admission control over per-shard write debt. *)
     admission : bool;
     slowdown_mark : int;
@@ -67,6 +68,9 @@ module Make (S : Wip_kv.Store_intf.S) = struct
                  visits shards whose engines are quiescent but whose debt
                  budget needs resetting (racy read — advisory, like the
                  pending estimate). *)
+              (* Advisory racy read, declared in the field's contract:
+                 staleness only misprioritizes one pool cycle.
+                 lint: allow R8 — racy advisory priority read *)
               let p = S.maintenance_pending sh.store + sh.inflight in
               if p > 0 then
                 match !best with
@@ -215,7 +219,7 @@ module Make (S : Wip_kv.Store_intf.S) = struct
 
   let slowdown_wait_s = 0.005
 
-  (* Called with [sh.lock] held. *)
+  (* requires: lock *)
   let admit t i sh ~bytes =
     if not t.admission then Ok ()
     else begin
@@ -262,8 +266,8 @@ module Make (S : Wip_kv.Store_intf.S) = struct
       Intf.Backpressure { shard = i; debt_bytes }
     | (Intf.Store_degraded _ | Intf.Txn_conflict _) as e -> e
 
-  (* Called with [sh.lock] held: admission, then the engine's own guarded
-     write path. *)
+  (* Admission, then the engine's own guarded write path.
+     requires: lock *)
   let sub_batch t i sh items =
     match S.health sh.store with
     | Intf.Degraded { reason } -> Error (Intf.Store_degraded { reason })
@@ -272,6 +276,8 @@ module Make (S : Wip_kv.Store_intf.S) = struct
       match admit t i sh ~bytes with
       | Error _ as e -> e
       | Ok () -> (
+        (* Debug witness that the [requires] precondition really held. *)
+        Sync.check_guard sh.lock ~field:"inflight";
         match S.try_write_batch sh.store items with
         | Ok () ->
           sh.inflight <- sh.inflight + bytes;

@@ -9,14 +9,18 @@ module Wal = Wip_wal.Wal
 module Manifest = Wip_manifest.Manifest
 module Intf = Wip_kv.Store_intf
 
+(* Engine state is externally serialized (guard: caller): the concurrent
+   front holds the owning shard lock across every Store_intf call, and
+   single-threaded embedders need no lock at all. The annotations below
+   document that contract for the lock-discipline checker. *)
 type bucket = {
   id : int;
   lo : string;
-  mutable memtable : Memtable.t;
+  mutable memtable : Memtable.t; (* guarded_by: caller *)
   levels : Table.meta list array; (* newest first within each level *)
   read_counts : int array; (* per level, since last compaction of it *)
-  mutable range_queries : int; (* since last flush; drives adaptivity *)
-  mutable next_structure : Memtable.structure;
+  mutable range_queries : int; (* since last flush; drives adaptivity; guarded_by: caller *)
+  mutable next_structure : Memtable.structure; (* guarded_by: caller *)
   (* REMIX-style sorted view over this bucket's current run set, with the
      exact run array it was built against (the view names runs by index).
      Built lazily by the first scan that finds enough runs, extended
@@ -24,35 +28,38 @@ type bucket = {
      (compaction, split, merge, collapse, quarantine). A walk in flight
      under a pinned snapshot keeps reading its captured runs through the
      zombie registry even after the field here is invalidated. *)
-  mutable view : (Sorted_view.t * Table.meta array) option;
+  mutable view : (Sorted_view.t * Table.meta array) option; (* guarded_by: caller *)
 }
 
 (* A table retired by compaction/split/merge while snapshots were live: the
    file, its reader and its cached blocks stay usable until every snapshot
    that could still be streaming it releases. [z_pinners] holds the ids of
    the snapshots that were live at retirement time. *)
-type zombie = { z_meta : Table.meta; mutable z_pinners : int list }
+type zombie = {
+  z_meta : Table.meta;
+  mutable z_pinners : int list; (* guarded_by: caller *)
+}
 
 type t = {
   cfg : Config.t;
   env : Env.t;
   wal : Wal.t;
   manifest : Manifest.t;
-  mutable buckets : bucket array; (* sorted by lo *)
+  mutable buckets : bucket array; (* sorted by lo; guarded_by: caller *)
   readers : (string, Table.Reader.t) Hashtbl.t;
-  mutable next_file : int;
-  mutable next_bucket_id : int;
-  mutable seq : int64;
-  mutable splits : int;
-  mutable compactions : int;
-  mutable io_credit : int;
+  mutable next_file : int; (* guarded_by: caller *)
+  mutable next_bucket_id : int; (* guarded_by: caller *)
+  mutable seq : int64; (* guarded_by: caller *)
+  mutable splits : int; (* guarded_by: caller *)
+  mutable compactions : int; (* guarded_by: caller *)
+  mutable io_credit : int; (* guarded_by: caller *)
       (* accumulated background-compaction allowance (bytes); see
          Config.compaction_budget_per_batch *)
-  mutable health : Intf.health;
-  mutable quarantined : (string * string) list;
+  mutable health : Intf.health; (* guarded_by: caller *)
+  mutable quarantined : (string * string) list; (* guarded_by: caller *)
       (* (file, detail) of tables renamed aside after corruption *)
   cache : Wip_storage.Block_cache.t option;
-  mutable next_snap_id : int;
+  mutable next_snap_id : int; (* guarded_by: caller *)
   live_snaps : (int, int64) Hashtbl.t; (* snapshot id -> pinned seq *)
   zombies : (string, zombie) Hashtbl.t; (* retired-but-pinned, by file *)
 }
@@ -1617,7 +1624,7 @@ type txn = {
   txn_snap : Intf.snapshot;
   txn_writes : (string, Ikey.kind * string) Hashtbl.t;
   txn_reads : (string, unit) Hashtbl.t;
-  mutable txn_open : bool;
+  mutable txn_open : bool; (* guarded_by: caller *)
 }
 
 let txn_begin t =

@@ -40,27 +40,32 @@ let default_config ~scale =
 
 (* A guard span: fragments between [guard] (inclusive lower bound) and the
    next guard. The span before the first guard has guard = "". *)
-type span = { guard : string; mutable fragments : Table.meta list (* newest first *) }
+type span = {
+  guard : string;
+  mutable fragments : Table.meta list; (* newest first; guarded_by: caller *)
+}
 
-type level = { mutable spans : span list (* sorted by guard *) }
+type level = {
+  mutable spans : span list; (* sorted by guard; guarded_by: caller *)
+}
 
 type t = {
   cfg : config;
   env : Env.t;
   wal : Wal.t;
   manifest : Manifest.t;
-  mutable mem : Skiplist.t;
-  mutable l0 : Table.meta list; (* newest first *)
+  mutable mem : Skiplist.t; (* guarded_by: caller *)
+  mutable l0 : Table.meta list; (* newest first; guarded_by: caller *)
   levels : level array; (* index 1..max_levels-1 used *)
   readers : (string, Table.Reader.t) Hashtbl.t;
-  mutable next_file : int;
-  mutable seq : int64;
-  mutable compactions : int;
+  mutable next_file : int; (* guarded_by: caller *)
+  mutable seq : int64; (* guarded_by: caller *)
+  mutable compactions : int; (* guarded_by: caller *)
   (* Guards observed from inserted keys but not yet committed to a level. *)
   pending_guards : (int, string list) Hashtbl.t;
-  mutable next_snap_id : int;
+  mutable next_snap_id : int; (* guarded_by: caller *)
   live_snaps : (int, int64) Hashtbl.t; (* snapshot id -> pinned seq *)
-  mutable view : (Sorted_view.t * Table.meta array) option;
+  mutable view : (Sorted_view.t * Table.meta array) option; (* guarded_by: caller *)
       (* Store-wide sorted view over every live fragment; None when absent
          or invalidated. Scans build it lazily; compaction and guard-commit
          fragment splits drop it. *)

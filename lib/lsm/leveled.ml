@@ -58,17 +58,17 @@ type t = {
   env : Env.t;
   wal : Wal.t;
   manifest : Manifest.t;
-  mutable mem : Skiplist.t;
-  mutable levels : Table.meta list array;
+  mutable mem : Skiplist.t; (* guarded_by: caller *)
+  mutable levels : Table.meta list array; (* guarded_by: caller *)
   (* L0: newest first (flush order); L1+: sorted by smallest key, disjoint. *)
   readers : (string, Table.Reader.t) Hashtbl.t;
-  mutable next_file : int;
-  mutable seq : int64;
-  mutable compact_pointer : string array; (* round-robin cursor per level *)
-  mutable compactions : int;
-  mutable next_snap_id : int;
+  mutable next_file : int; (* guarded_by: caller *)
+  mutable seq : int64; (* guarded_by: caller *)
+  mutable compact_pointer : string array; (* round-robin cursor per level; guarded_by: caller *)
+  mutable compactions : int; (* guarded_by: caller *)
+  mutable next_snap_id : int; (* guarded_by: caller *)
   live_snaps : (int, int64) Hashtbl.t; (* snapshot id -> pinned seq *)
-  mutable view : (Sorted_view.t * Table.meta array) option;
+  mutable view : (Sorted_view.t * Table.meta array) option; (* guarded_by: caller *)
       (* Store-wide sorted view over the whole table set; None when absent
          or invalidated. Scans build it lazily; compaction drops it. *)
 }

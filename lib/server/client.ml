@@ -1,8 +1,10 @@
 type t = {
   fd : Unix.file_descr;
   chunk : Bytes.t;
-  mutable data : string; (* unconsumed response bytes *)
-  mutable next_id : int;
+  (* A client handle is single-threaded by contract — callers own the
+     request/response pairing; nothing here is shared. *)
+  mutable data : string; (* unconsumed response bytes; guarded_by: caller *)
+  mutable next_id : int; (* guarded_by: caller *)
 }
 
 type error =

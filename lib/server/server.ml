@@ -15,8 +15,8 @@ type store_ops = {
 type conn = {
   fd : Unix.file_descr;
   write_lock : Sync.t; (* leaf: held only across one frame write *)
-  mutable closed : bool; (* guarded by write_lock *)
-  mutable outstanding : int; (* queued + executing jobs; guarded by qlock *)
+  mutable closed : bool; (* guarded_by: write_lock *)
+  mutable outstanding : int; (* queued + executing jobs; guarded_by: qlock *)
 }
 
 type job = { conn : conn; id : int; req : Protocol.request }
@@ -35,10 +35,12 @@ type t = {
   qlock : Sync.t;
   have_jobs : Sync.Cond.cond; (* signaled on push and on stop *)
   have_space : Sync.Cond.cond; (* signaled when a job completes *)
-  jobs : job Queue.t; (* guarded by qlock *)
-  mutable conns : conn list; (* guarded by qlock *)
-  mutable workers : unit Domain.t list;
-  mutable acceptor : Thread.t option;
+  jobs : job Queue.t; (* guarded_by: qlock *)
+  mutable conns : conn list; (* guarded_by: qlock *)
+  (* The two lifecycle fields are written in [start] before the handle
+     escapes and in [stop] (idempotent via the [stopping] exchange). *)
+  mutable workers : unit Domain.t list; (* guarded_by: none *)
+  mutable acceptor : Thread.t option; (* guarded_by: none *)
 }
 
 let port t = t.bound_port
@@ -52,6 +54,9 @@ let respond conn ~id resp =
   let frame = Protocol.encode_response ~id resp in
   Sync.with_lock conn.write_lock (fun () ->
       if not conn.closed then
+        (* Deliberate leaf-lock flush: [write_lock] is held only across this
+           one frame write, serializing concurrent responders per socket.
+           lint: allow R9 — leaf write_lock, one frame per hold *)
         try Netio.write_all conn.fd frame
         with Unix.Unix_error _ ->
           (* Peer is gone; the reader thread owns the cleanup. *)
@@ -140,6 +145,7 @@ let enqueue t conn ~id req =
         end
       in
       wait_space ();
+      Sync.check_guard t.qlock ~field:"outstanding";
       if not (Atomic.get t.stopping) then begin
         conn.outstanding <- conn.outstanding + 1;
         Queue.push { conn; id; req } t.jobs;

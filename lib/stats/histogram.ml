@@ -6,11 +6,11 @@ module Sync = Wip_util.Sync
 
 type t = {
   lock : Sync.t;
-  buckets : int array;
-  mutable total : int;
-  mutable sum : float;
-  mutable minimum : float;
-  mutable maximum : float;
+  buckets : int array; (* guarded_by: lock *)
+  mutable total : int; (* guarded_by: lock *)
+  mutable sum : float; (* guarded_by: lock *)
+  mutable minimum : float; (* guarded_by: lock *)
+  mutable maximum : float; (* guarded_by: lock *)
 }
 
 let create () =
@@ -57,6 +57,8 @@ let upper_bound_of_bucket i =
 let add t v =
   let v = max v 0.0 in
   locked t (fun () ->
+      (* Debug witness for the guarded_by annotations above. *)
+      Sync.check_guard t.lock ~field:"total";
       t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
       t.total <- t.total + 1;
       t.sum <- t.sum +. v;

@@ -4,10 +4,10 @@ type t = {
   lock : Sync.t;
   window : int;
   start : float;
-  mutable ops : int;
-  mutable window_ops : int;
-  mutable window_start : float;
-  mutable bins : (int * float) list; (* reverse *)
+  mutable ops : int; (* guarded_by: lock *)
+  mutable window_ops : int; (* guarded_by: lock *)
+  mutable window_start : float; (* guarded_by: lock *)
+  mutable bins : (int * float) list; (* reverse; guarded_by: lock *)
 }
 
 let now () = Unix.gettimeofday ()
@@ -28,6 +28,8 @@ let locked t f = Sync.with_lock t.lock f
 
 let tick t ?(n = 1) () =
   locked t (fun () ->
+      (* Debug witness for the guarded_by annotations above. *)
+      Sync.check_guard t.lock ~field:"ops";
       t.ops <- t.ops + n;
       t.window_ops <- t.window_ops + n;
       if t.window_ops >= t.window then begin

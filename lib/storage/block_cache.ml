@@ -9,8 +9,8 @@ type key = { file : string; offset : int }
 type node = {
   key : key;
   value : string;
-  mutable prev : node option;
-  mutable next : node option;
+  mutable prev : node option; (* guarded_by: lock *)
+  mutable next : node option; (* guarded_by: lock *)
 }
 
 module Sync = Wip_util.Sync
@@ -18,14 +18,14 @@ module Sync = Wip_util.Sync
 type t = {
   lock : Sync.t;
   capacity : int;
-  table : (key, node) Hashtbl.t;
-  mutable head : node option;
-  mutable tail : node option;
-  mutable used : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable bypasses : int; (* no-fill probes that missed (scan traffic) *)
-  mutable rejections : int; (* inserts dropped for exceeding capacity *)
+  table : (key, node) Hashtbl.t; (* guarded_by: lock *)
+  mutable head : node option; (* guarded_by: lock *)
+  mutable tail : node option; (* guarded_by: lock *)
+  mutable used : int; (* guarded_by: lock *)
+  mutable hits : int; (* guarded_by: lock *)
+  mutable misses : int; (* guarded_by: lock *)
+  mutable bypasses : int; (* no-fill probes that missed; guarded_by: lock *)
+  mutable rejections : int; (* capacity-exceeding inserts; guarded_by: lock *)
 }
 
 let create ~capacity_bytes =
@@ -44,6 +44,7 @@ let create ~capacity_bytes =
 
 let locked t f = Sync.with_lock t.lock f
 
+(* requires: lock *)
 let unlink t node =
   (match node.prev with
   | Some p -> p.next <- node.next
@@ -54,12 +55,14 @@ let unlink t node =
   node.prev <- None;
   node.next <- None
 
+(* requires: lock *)
 let push_front t node =
   node.next <- t.head;
   node.prev <- None;
   (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
   t.head <- Some node
 
+(* requires: lock *)
 let remove t node =
   unlink t node;
   Hashtbl.remove t.table node.key;
@@ -67,6 +70,8 @@ let remove t node =
 
 let find t ~file ~offset =
   locked t (fun () ->
+      (* Debug witness for the guarded_by annotations above. *)
+      Sync.check_guard t.lock ~field:"hits";
       match Hashtbl.find_opt t.table { file; offset } with
       | Some node ->
         t.hits <- t.hits + 1;
@@ -92,6 +97,7 @@ let find_no_fill t ~file ~offset =
         t.bypasses <- t.bypasses + 1;
         None)
 
+(* requires: lock *)
 let rec evict_until_fits t =
   if t.used > t.capacity then
     match t.tail with

@@ -72,7 +72,9 @@ type t = {
 type writer = {
   w_env : t;
   w_name : string;
-  mutable w_off : int;
+  (* A writer belongs to one producing store; [Sharded_store] serializes
+     all appends under the owning shard lock. *)
+  mutable w_off : int; (* guarded_by: caller *)
   w_impl : w_impl;
 }
 

@@ -2,26 +2,29 @@ exception Crashed
 
 (* Growable byte array: Buffer has no in-place mutation, which bit-flip
    corruption needs. *)
+(* Every mutable field below is caller-serialized — a fault env is driven
+   by one store (or one test thread) at a time; chaos tests serialize crash
+   injection with the store's own shard lock before touching plans. *)
 type file = {
-  mutable data : Bytes.t;
-  mutable len : int;
-  mutable synced : int; (* durable prefix length, <= len *)
+  mutable data : Bytes.t; (* guarded_by: caller *)
+  mutable len : int; (* guarded_by: caller *)
+  mutable synced : int; (* durable prefix length, <= len; guarded_by: caller *)
 }
 
 type fault = Crash of { torn : int } | Fail of { retryable : bool }
 
 type t = {
   files : (string, file) Hashtbl.t;
-  mutable durable_plan : (int * fault) list;
-  mutable read_plan : int list;
-  mutable storms : (int * int) list; (* [first, last) durable-op windows *)
-  mutable space_budget : int option; (* appended-byte budget; None = infinite *)
-  mutable appended : int; (* bytes successfully appended so far *)
-  mutable latency_ns : int; (* injected delay per durable op *)
-  mutable durable_ops : int;
-  mutable read_ops : int;
-  mutable captured : (string * string) list option;
-  mutable wrapped : Env.t option;
+  mutable durable_plan : (int * fault) list; (* guarded_by: caller *)
+  mutable read_plan : int list; (* guarded_by: caller *)
+  mutable storms : (int * int) list; (* durable-op windows; guarded_by: caller *)
+  mutable space_budget : int option; (* None = infinite; guarded_by: caller *)
+  mutable appended : int; (* bytes appended so far; guarded_by: caller *)
+  mutable latency_ns : int; (* delay per durable op; guarded_by: caller *)
+  mutable durable_ops : int; (* guarded_by: caller *)
+  mutable read_ops : int; (* guarded_by: caller *)
+  mutable captured : (string * string) list option; (* guarded_by: caller *)
+  mutable wrapped : Env.t option; (* guarded_by: caller *)
 }
 
 let create_file_state () = { data = Bytes.create 256; len = 0; synced = 0 }

@@ -17,39 +17,39 @@ module Sync = Wip_util.Sync
 
 type t = {
   lock : Sync.t;
-  mutable user : int;
-  mutable wal_w : int;
-  mutable wal_r : int;
-  mutable flush_w : int;
-  mutable flush_r : int;
-  mutable split_w : int;
-  mutable split_r : int;
-  mutable read_path_w : int;
-  mutable read_path_r : int;
-  mutable manifest_w : int;
-  mutable manifest_r : int;
-  mutable table_meta_w : int;
-  mutable table_meta_r : int;
-  mutable level_w : int array; (* writes into level i *)
-  mutable level_r : int array; (* reads from level i *)
-  mutable syncs : int; (* durability barriers issued *)
-  mutable faults : int; (* injected faults (crashes, I/O errors, bit flips) *)
-  mutable stalls : int; (* admission-control write stalls *)
-  mutable stall_ns : int; (* total time spent in those stalls *)
-  mutable retries : int; (* durable-op re-attempts after transient faults *)
-  mutable degraded_transitions : int; (* Healthy -> Degraded edges *)
-  mutable bloom_probes : int; (* bloom filter consultations on reads *)
-  mutable bloom_negatives : int; (* probes answered "definitely absent" *)
-  mutable bloom_fps : int; (* maybe-answers that then found nothing *)
-  mutable block_fetches : int; (* data-block requests (cache hits included) *)
-  mutable group_commits : int; (* group-commit windows (one fsync each) *)
-  mutable group_commit_requests : int; (* logical commits coalesced into them *)
-  mutable group_commit_ns : int; (* total window latency, submit to ack *)
-  mutable ph_probes : int; (* perfect-hash point-index lookups *)
-  mutable ph_false_hits : int; (* fingerprint aliases rejected by key check *)
-  mutable ph_fallbacks : int; (* ph blocks dropped (CRC/parse) at open *)
-  mutable view_rebuilds : int; (* sorted-view builds + incremental add_runs *)
-  mutable view_rebuild_ns : int; (* total time spent in those rebuilds *)
+  mutable user : int; (* guarded_by: lock *)
+  mutable wal_w : int; (* guarded_by: lock *)
+  mutable wal_r : int; (* guarded_by: lock *)
+  mutable flush_w : int; (* guarded_by: lock *)
+  mutable flush_r : int; (* guarded_by: lock *)
+  mutable split_w : int; (* guarded_by: lock *)
+  mutable split_r : int; (* guarded_by: lock *)
+  mutable read_path_w : int; (* guarded_by: lock *)
+  mutable read_path_r : int; (* guarded_by: lock *)
+  mutable manifest_w : int; (* guarded_by: lock *)
+  mutable manifest_r : int; (* guarded_by: lock *)
+  mutable table_meta_w : int; (* guarded_by: lock *)
+  mutable table_meta_r : int; (* guarded_by: lock *)
+  mutable level_w : int array; (* writes into level i; guarded_by: lock *)
+  mutable level_r : int array; (* reads from level i; guarded_by: lock *)
+  mutable syncs : int; (* durability barriers issued; guarded_by: lock *)
+  mutable faults : int; (* injected faults (crashes, I/O errors, bit flips); guarded_by: lock *)
+  mutable stalls : int; (* admission-control write stalls; guarded_by: lock *)
+  mutable stall_ns : int; (* total time spent in those stalls; guarded_by: lock *)
+  mutable retries : int; (* durable-op re-attempts after transient faults; guarded_by: lock *)
+  mutable degraded_transitions : int; (* Healthy -> Degraded edges; guarded_by: lock *)
+  mutable bloom_probes : int; (* bloom filter consultations on reads; guarded_by: lock *)
+  mutable bloom_negatives : int; (* probes answered "definitely absent"; guarded_by: lock *)
+  mutable bloom_fps : int; (* maybe-answers that then found nothing; guarded_by: lock *)
+  mutable block_fetches : int; (* data-block requests (cache hits included); guarded_by: lock *)
+  mutable group_commits : int; (* group-commit windows (one fsync each); guarded_by: lock *)
+  mutable group_commit_requests : int; (* logical commits coalesced into them; guarded_by: lock *)
+  mutable group_commit_ns : int; (* total window latency, submit to ack; guarded_by: lock *)
+  mutable ph_probes : int; (* perfect-hash point-index lookups; guarded_by: lock *)
+  mutable ph_false_hits : int; (* fingerprint aliases rejected by key check; guarded_by: lock *)
+  mutable ph_fallbacks : int; (* ph blocks dropped (CRC/parse) at open; guarded_by: lock *)
+  mutable view_rebuilds : int; (* sorted-view builds + incremental add_runs; guarded_by: lock *)
+  mutable view_rebuild_ns : int; (* total time spent in those rebuilds; guarded_by: lock *)
 }
 
 let create () =
@@ -134,7 +134,11 @@ let record_read t cat n =
       | Manifest -> t.manifest_r <- t.manifest_r + n
       | Table_meta -> t.table_meta_r <- t.table_meta_r + n)
 
-let record_sync t = locked t (fun () -> t.syncs <- t.syncs + 1)
+let record_sync t =
+  locked t (fun () ->
+      (* Debug witness for the guarded_by annotations above. *)
+      Sync.check_guard t.lock ~field:"syncs";
+      t.syncs <- t.syncs + 1)
 
 let record_bloom_probe t ~negative =
   locked t (fun () ->
@@ -330,6 +334,10 @@ let snapshot t =
         level_r = Array.copy t.level_r;
       })
 
+(* [diff] reads only private snapshot copies — its own [snapshot cur] and a
+   caller-held base snapshot — never the live shared record, so the
+   guarded-by discipline does not apply to its field reads.
+   lint: allow-fun R8 — fields of private snapshot copies *)
 let diff cur base =
   (* [base] is normally a private {!snapshot}; take an atomic copy of [cur]
      first so the subtraction sees one consistent state. *)

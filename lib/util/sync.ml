@@ -149,6 +149,41 @@ module Cond = struct
   let broadcast c = Condition.broadcast c.cv
 end
 
+(* --------------------------------------------------------------------- *)
+(* Guarded-by witness: the runtime end of the static R8 analysis. A module
+   places [check_guard lock ~field] next to an access the linter proved to
+   run under [lock]; in debug mode the call verifies the lock really is in
+   this thread's held stack and records a contradiction otherwise — evidence
+   that a guarded_by annotation (and hence the static lock-set model) has
+   rotted. Contradictions are recorded, not raised: a witness firing inside
+   a storm of concurrent work should not turn into an unrelated crash; tests
+   assert the counter is zero at their sync points. *)
+
+let guard_contras : (string * string) list ref = ref []
+
+let check_guard t ~field =
+  if Atomic.get debug then begin
+    let held = List.exists (fun l -> l == t) !(held_stack ()) in
+    if not held then begin
+      Mutex.lock held_mu;
+      guard_contras := (field, t.lock_name) :: !guard_contras;
+      Mutex.unlock held_mu
+    end
+  end
+
+let guard_contradictions () =
+  Mutex.lock held_mu;
+  let l = List.rev !guard_contras in
+  Mutex.unlock held_mu;
+  l
+
+let guard_contradiction_count () = List.length (guard_contradictions ())
+
+let reset_guard_contradictions () =
+  Mutex.lock held_mu;
+  guard_contras := [];
+  Mutex.unlock held_mu
+
 let rec check_ascending = function
   | a :: (b :: _ as rest) ->
     if b.lock_rank <= a.lock_rank then

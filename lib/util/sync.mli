@@ -95,3 +95,20 @@ val held_count : unit -> int
 (** Total order violations detected since process start (each also raised
     as {!Order_violation} at the offending acquisition). *)
 val violation_count : unit -> int
+
+(** Guarded-by witness — the runtime end of the lint rule R8. A module
+    places [check_guard lock ~field] beside an access whose [guarded_by]
+    annotation names [lock]; in debug mode the call checks that [lock] is
+    physically in the calling thread's held stack and records a
+    contradiction (field, lock name) otherwise. No-op outside debug mode.
+    Contradictions are recorded rather than raised so a rotted annotation
+    surfaces as a test assertion, not a crash inside a worker. *)
+val check_guard : t -> field:string -> unit
+
+(** Contradictions recorded since start (or the last reset), oldest
+    first. *)
+val guard_contradictions : unit -> (string * string) list
+
+val guard_contradiction_count : unit -> int
+
+val reset_guard_contradictions : unit -> unit

@@ -30,4 +30,5 @@ let () =
       ("protocol", Test_protocol.suite);
       ("group-commit", Test_group_commit.suite);
       ("server", Test_server.suite);
+      ("lock-discipline", Test_lock_discipline.suite);
     ]

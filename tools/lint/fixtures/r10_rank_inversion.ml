@@ -1,0 +1,20 @@
+(* R10: nested acquisitions must strictly ascend in rank where ranks are
+   known at lint time. *)
+
+let outer = Wip_util.Sync.create ~rank:200 ~name:"outer" ()
+let inner = Wip_util.Sync.create ~rank:100 ~name:"inner" ()
+
+let ok () =
+  Wip_util.Sync.with_lock inner (fun () ->
+      Wip_util.Sync.with_lock outer (fun () -> ()))
+
+let bad () =
+  Wip_util.Sync.with_lock outer (fun () ->
+      Wip_util.Sync.with_lock inner (fun () -> ())) (* FINDING: R10 *)
+
+let bad_equal () =
+  Wip_util.Sync.with_lock outer (fun () ->
+      Wip_util.Sync.with_lock outer (fun () -> ())) (* FINDING: R10 *)
+
+let bad_ordered () =
+  Wip_util.Sync.with_locks_ordered [ outer; inner ] (fun () -> ()) (* FINDING: R10 *)

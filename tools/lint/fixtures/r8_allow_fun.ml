@@ -1,0 +1,13 @@
+(* allow-fun: one justified suppression covers every access in a binding
+   (the static analogue of NO_THREAD_SAFETY_ANALYSIS). *)
+
+type t = {
+  lock : Wip_util.Sync.t;
+  mutable a : int; (* guarded_by: lock *)
+  mutable b : int; (* guarded_by: lock *)
+}
+
+(* lint: allow-fun R8 — diffing private snapshot copies, never shared *)
+let diff x y = (x.a - y.a) + (x.b - y.b)
+
+let bad t = t.a (* FINDING: R8 *)

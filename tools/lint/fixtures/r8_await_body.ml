@@ -1,0 +1,17 @@
+(* R8: a Sync.await predicate body is modeled as lock-released — await
+   drops and retakes the lock around every poll, so the enclosing critical
+   section is not continuous across it. *)
+
+type t = {
+  lock : Wip_util.Sync.t;
+  mutable ready : bool; (* guarded_by: lock *)
+}
+
+let wait t deadline =
+  Wip_util.Sync.with_lock t.lock (fun () ->
+      Wip_util.Sync.await t.lock ~deadline (fun () -> t.ready)) (* FINDING: R8 *)
+
+let still_inside t deadline =
+  Wip_util.Sync.with_lock t.lock (fun () ->
+      Wip_util.Sync.await t.lock ~deadline (fun () -> true);
+      t.ready)

@@ -1,0 +1,10 @@
+(* R8: mutable fields in a module that uses Sync must carry guarded_by. *)
+
+type t = {
+  lock : Wip_util.Sync.t;
+  mutable hits : int; (* FINDING: R8 *)
+  mutable misses : int; (* guarded_by: lock *)
+}
+
+let touch t =
+  Wip_util.Sync.with_lock t.lock (fun () -> t.misses <- t.misses + 1)

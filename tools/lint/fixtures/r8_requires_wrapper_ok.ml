@@ -1,0 +1,25 @@
+(* Zero findings: wrapper inference, requires preconditions, and the
+   reserved guards (caller / none) together cover the idioms the lexical
+   analysis meets in the tree. *)
+
+type t = {
+  lock : Wip_util.Sync.t;
+  mutable used : int; (* guarded_by: lock *)
+  mutable workers : int list; (* guarded_by: none — joined at stop only *)
+}
+
+let locked t f = Wip_util.Sync.with_lock t.lock f
+
+(* requires: lock *)
+let bump t = t.used <- t.used + 1
+
+let touch t =
+  locked t (fun () ->
+      bump t;
+      t.used)
+
+type engine = { mutable seq : int (* guarded_by: caller — shard lock held *) }
+
+let next e =
+  e.seq <- e.seq + 1;
+  e.seq

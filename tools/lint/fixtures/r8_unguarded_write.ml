@@ -1,0 +1,10 @@
+(* R8: writing a guarded field outside its lock. *)
+
+type t = {
+  lock : Wip_util.Sync.t;
+  mutable count : int; (* guarded_by: lock *)
+}
+
+let good t = Wip_util.Sync.with_lock t.lock (fun () -> t.count <- t.count + 1)
+
+let bad t = t.count <- 0 (* FINDING: R8 *)

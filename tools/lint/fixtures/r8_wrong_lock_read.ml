@@ -1,0 +1,11 @@
+(* R8: holding a lock — just not the one the field is guarded by. *)
+
+type t = {
+  alock : Wip_util.Sync.t;
+  block : Wip_util.Sync.t;
+  mutable v : int; (* guarded_by: alock *)
+}
+
+let ok t = Wip_util.Sync.with_lock t.alock (fun () -> t.v)
+
+let bad t = Wip_util.Sync.with_lock t.block (fun () -> t.v) (* FINDING: R8 *)

@@ -1,0 +1,21 @@
+(* R9: durable I/O, retries and sleeps must not run while a lock is held. *)
+
+let flush env lock =
+  Wip_util.Sync.with_lock lock (fun () -> Storage.Env.sync env) (* FINDING: R9 *)
+
+let sleepy lock =
+  Wip_util.Sync.with_lock lock (fun () -> Unix.sleepf 0.01) (* FINDING: R9 *)
+
+let retrying env lock =
+  Wip_util.Sync.with_lock lock (fun () ->
+      Wip_util.Retry.with_retries (fun () -> Storage.Env.sync env)) (* FINDING: R9 *)
+
+(* A deliberate leaf-lock flush site: justified and suppressed. *)
+let deliberate env lock =
+  Wip_util.Sync.with_lock lock (fun () ->
+      (* lint: allow R9 — leaf lock, one-frame flush, measured *)
+      Storage.Env.sync env)
+
+let staged env lock =
+  Wip_util.Sync.with_lock lock (fun () -> ());
+  Storage.Env.sync env
